@@ -1,0 +1,96 @@
+"""Benches for the post-paper extensions.
+
+Covers the §V base-m bus generalization, the degree-attainment frontier,
+edge-fault reduction, the de Bruijn-sequence machinery, and the full
+Hayes-model search strategy — each with its structural assertion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import bound_attainment_frontier, degree_profile
+from repro.core import (
+    bus_degree_bound_basem,
+    bus_ft_debruijn_basem,
+    de_bruijn_sequence,
+    debruijn,
+    exhaustive_tolerance_check,
+    ft_debruijn,
+    hamiltonian_cycle,
+    is_de_bruijn_sequence,
+    reconfigure_with_edge_faults,
+)
+from repro.graphs import StaticGraph, cycle
+
+from benchmarks.conftest import once
+
+
+def test_ext_basem_bus_construction(benchmark):
+    """Base-m buses: exact (m-1)(2k+1)+2 ports at m=4, h=4, k=2."""
+    bg = benchmark(bus_ft_debruijn_basem, 4, 4, 2)
+    assert bg.max_bus_degree() == bus_degree_bound_basem(4, 2) == 17
+
+
+def test_ext_degree_frontier(benchmark):
+    """The h at which each corollary bound first becomes exact."""
+
+    def frontier_table():
+        return {
+            (2, 1): bound_attainment_frontier(2, 1),
+            (2, 2): bound_attainment_frontier(2, 2),
+            (2, 3): bound_attainment_frontier(2, 3),
+            (3, 1): bound_attainment_frontier(3, 1, h_max=6),
+        }
+
+    table = once(benchmark, frontier_table)
+    assert table[(2, 1)] == 4
+    assert all(v is None or v >= 4 for v in table.values())
+
+
+def test_ext_degree_profile_speed(benchmark):
+    p = benchmark(degree_profile, 2, 10, 3)
+    assert p.maximum <= p.bound
+
+
+def test_ext_edge_fault_pipeline(benchmark):
+    """Minimum-cover edge-fault reduction: adjacent faults share a spare."""
+    h, k = 5, 2
+    ft = ft_debruijn(2, h, k)
+
+    def run():
+        return reconfigure_with_edge_faults(ft, 1 << h, [(6, 12), (6, 13)])
+
+    phi, eff = once(benchmark, run)
+    assert eff.size == 1  # one spare covers both faulty links
+
+
+def test_ext_de_bruijn_sequence(benchmark):
+    """FKM sequence at (2, 14): 16384 symbols, validated."""
+    seq = benchmark(de_bruijn_sequence, 2, 14)
+    assert len(seq) == 1 << 14
+
+
+def test_ext_sequence_validation(benchmark):
+    seq = de_bruijn_sequence(2, 12)
+    ok = benchmark(is_de_bruijn_sequence, seq, 2, 12)
+    assert ok
+
+
+def test_ext_hamiltonian_cycle(benchmark):
+    cyc = benchmark(hamiltonian_cycle, 2, 12)
+    assert sorted(cyc) == list(range(1 << 12))
+
+
+def test_ext_search_strategy_audit(benchmark):
+    """Hayes-model search certifies a non-monotone design (cycle+spare)."""
+    target = cycle(8)
+    design = StaticGraph(
+        9, list(target.iter_edges()) + [(8, v) for v in range(8)]
+    )
+
+    def audit():
+        return exhaustive_tolerance_check(design, target, 1, strategy="search")
+
+    rep = once(benchmark, audit)
+    assert rep.ok

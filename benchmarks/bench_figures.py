@@ -1,0 +1,74 @@
+"""Benches FIG1-FIG5: regenerate the paper's five figures.
+
+Each bench rebuilds the figure's artifact under the benchmark clock and
+asserts the structural facts the figure depicts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import (
+    exp_fig1,
+    exp_fig2,
+    exp_fig3,
+    exp_fig4,
+    exp_fig5,
+)
+from repro.core import bus_ft_debruijn, debruijn, ft_debruijn
+
+from benchmarks.conftest import once
+
+
+def test_fig1_debruijn_b24(benchmark):
+    """FIG1: B_{2,4} — 16 nodes, degree 4."""
+    rep = once(benchmark, exp_fig1)
+    assert rep.metrics["nodes"] == 16
+    assert rep.metrics["max_degree"] == 4
+    assert "[0,1,1,0]_2" in rep.body
+
+
+def test_fig1_construction_speed(benchmark):
+    """FIG1 (construction cost): building B_{2,10} (1024 nodes)."""
+    g = benchmark(debruijn, 2, 10)
+    assert g.node_count == 1024 and g.max_degree() <= 4
+
+
+def test_fig2_ft_graph_b124(benchmark):
+    """FIG2: B^1_{2,4} — 17 nodes, degree exactly 8 (Cor. 2 tight)."""
+    rep = once(benchmark, exp_fig2)
+    assert rep.metrics["nodes"] == 17
+    assert rep.metrics["max_degree"] == 8
+    assert rep.metrics["degree_bound"] == 8
+
+
+def test_fig2_construction_speed(benchmark):
+    """FIG2 (construction cost): building B^4_{2,10}."""
+    g = benchmark(ft_debruijn, 2, 10, 4)
+    assert g.node_count == 1028 and g.max_degree() <= 20
+
+
+def test_fig3_reconfiguration(benchmark):
+    """FIG3: relabeling after one fault — all 17 single faults verified."""
+    rep = once(benchmark, exp_fig3)
+    assert rep.metrics["verified_single_faults"] == 17
+    assert "X  (faulty)" in rep.body
+
+
+def test_fig4_bus_implementation(benchmark):
+    """FIG4: bus implementation of B^1_{2,3} — 9 buses, 5 ports/node."""
+    rep = once(benchmark, exp_fig4)
+    assert rep.metrics["buses"] == 9
+    assert rep.metrics["max_bus_degree"] == 5
+
+
+def test_fig4_construction_speed(benchmark):
+    """FIG4 (construction cost): bus graph for B^3_{2,9}."""
+    bg = benchmark(bus_ft_debruijn, 9, 3)
+    assert bg.max_bus_degree() == 9  # 2k+3
+
+
+def test_fig5_bus_reconfiguration(benchmark):
+    """FIG5: bus reconfiguration — every node fault AND every bus fault
+    drivable over healthy buses."""
+    rep = once(benchmark, exp_fig5)
+    assert rep.metrics["node_fault_ok"] == 9
+    assert rep.metrics["bus_fault_ok"] == 9

@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one paper artifact (see DESIGN.md §3) and asserts
+its metrics, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+full reproduction run; timings quantify construction/verification cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xFEED)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

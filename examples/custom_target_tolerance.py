@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Hayes's model on arbitrary targets: audit any FT design you like.
+
+The paper works inside Hayes's general framework: pick a target graph,
+propose a fault-tolerant graph, prove (k, G)-tolerance.  The tolerance
+engine in `repro` is target-agnostic, so this example uses it as a design
+*audit tool* on three candidate designs beyond the paper's:
+
+1. a cycle target with a fully-wired spare — tolerant in the Hayes sense,
+   but NOT via the paper's monotone remap (cycles need a rotation remap);
+   the two-strategy checker separates the cases,
+2. a hypercube target with a universal spare — same story,
+3. a hypercube target with a *stingy* half-wired spare — genuinely broken;
+   the checker produces the exact fault set that kills it.
+
+Run:  python examples/custom_target_tolerance.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ToleranceViolation, StaticGraph
+from repro.core import exhaustive_tolerance_check
+from repro.graphs import cycle, hypercube
+
+
+def audit(name: str, ft: StaticGraph, target: StaticGraph, k: int) -> None:
+    print(f"\n--- {name}")
+    print(f"    target: {target.node_count} nodes | FT graph: "
+          f"{ft.node_count} nodes, max degree {ft.max_degree()}")
+    try:
+        exhaustive_tolerance_check(ft, target, k)
+        print("    monotone remap (the paper's φ): works")
+    except ToleranceViolation as tv:
+        print(f"    monotone remap (the paper's φ): fails at fault set {tv.fault_set}")
+    try:
+        rep = exhaustive_tolerance_check(ft, target, k, strategy="search")
+        print(f"    full Hayes model (any embedding): ({k}, target)-tolerant "
+              f"— {rep.checked} fault sets searched")
+    except ToleranceViolation as tv:
+        print(f"    full Hayes model (any embedding): NOT tolerant — "
+              f"counterexample {tv.fault_set}")
+
+
+def main() -> int:
+    # 1. C_8 with one spare chorded into the cycle every other node
+    target = cycle(8)
+    ring_edges = list(target.iter_edges())
+    spare_edges = [(8, v) for v in range(0, 8)]
+    design1 = StaticGraph(9, ring_edges + spare_edges)
+    audit("cycle C_8 + fully-wired spare", design1, target, k=1)
+
+    # 2. Q_3 with a universal spare
+    q3 = hypercube(3)
+    design2 = StaticGraph(9, list(q3.iter_edges()) + [(8, v) for v in range(8)])
+    audit("hypercube Q_3 + universal spare", design2, q3, k=1)
+
+    # 3. Q_3 with a half-wired spare (deliberately broken)
+    design3 = StaticGraph(9, list(q3.iter_edges()) + [(8, v) for v in range(4)])
+    audit("hypercube Q_3 + half-wired spare (stingy)", design3, q3, k=1)
+
+    print("\nThe same engine that certifies the paper's B^k graphs exposes "
+          "broken designs\nwith concrete counterexamples — Hayes's model as "
+          "a practical audit tool.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""A fault-tolerant FFT pipeline on a shuffle-exchange machine.
+
+Shuffle-exchange networks were invented for signal processing (Stone
+1971, the paper's reference [13]).  This example builds the paper's
+fault-tolerant shuffle-exchange — which is just ``B^k_{2,h}`` plus the
+ψ relabeling of SE into de Bruijn — and streams frames of a noisy
+two-tone signal through a 64-point FFT *while a processor dies mid-
+stream*.  Spectral peaks stay put; the machine never misses a frame.
+
+Run:  python examples/signal_processing_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import FaultTolerantMachine, fft
+from repro.core import embed_se_in_debruijn
+
+
+def make_frame(n: int, t0: int, rng: np.random.Generator) -> np.ndarray:
+    """Two tones (bins 5 and 13) plus noise."""
+    t = np.arange(t0, t0 + n)
+    sig = (
+        1.0 * np.exp(2j * np.pi * 5 * t / n)
+        + 0.5 * np.exp(2j * np.pi * 13 * t / n)
+        + 0.05 * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+    )
+    return sig
+
+
+def top_bins(spectrum: np.ndarray, count: int = 2) -> list[int]:
+    return sorted(np.argsort(np.abs(spectrum))[-count:].tolist())
+
+
+def main() -> int:
+    h, k = 6, 2
+    n = 1 << h
+    rng = np.random.default_rng(7)
+
+    # The §I chain, explicit: SE_h ⊆ B_{2,h} via ψ, then B^k_{2,h} hosts it.
+    emb = embed_se_in_debruijn(h)
+    print(f"SE_{h} ⊆ B_{{2,{h}}} verified "
+          f"({emb.pattern.edge_count} SE edges onto de Bruijn edges)")
+
+    machine = FaultTolerantMachine(h, k)
+    print(f"machine: {n}-point FFT on B^{k}_{{2,{h}}} "
+          f"({machine.ft.node_count} physical nodes)\n")
+
+    for frame_no in range(6):
+        if frame_no == 3:
+            machine.fail_node(11)
+            print(f"*** processor 11 dies between frames 2 and 3 ***")
+        frame = make_frame(n, frame_no * n, rng)
+        spectrum, trace = fft(frame, backend="debruijn", node_map=machine.rec.phi())
+        expected = np.fft.fft(frame)
+        exact = np.allclose(spectrum, expected)
+        healthy = trace.verify_against(machine.healthy_graph())
+        print(
+            f"frame {frame_no}: peaks at bins {top_bins(spectrum)}, "
+            f"matches numpy={exact}, rounds={trace.round_count}, "
+            f"healthy-links-only={healthy}, faults={machine.faults}"
+        )
+        if not (exact and healthy):
+            return 1
+    print("\nNo frame lost, no precision lost, no extra rounds: the FT "
+          "shuffle-exchange absorbs the fault.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

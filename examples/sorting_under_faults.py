@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Parallel sorting on a machine that keeps losing processors.
+
+The paper's motivation (§I): efficient algorithms for constant-degree
+networks "utilize all of the processors and all of the communication
+links", so one fault ruins the machine.  This example runs Batcher's
+bitonic sort on a 32-processor de Bruijn machine built as ``B^3_{2,5}``
+and kills a processor between runs — three times.  After each fault the
+reconfiguration remap is recomputed and the sort keeps working, at the
+same round count, using only healthy physical links (verified).
+
+Run:  python examples/sorting_under_faults.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import FaultTolerantMachine, bitonic_sort_on_debruijn
+
+
+def main() -> int:
+    h, k = 5, 3
+    n = 1 << h
+    machine = FaultTolerantMachine(h, k)
+    rng = np.random.default_rng(42)
+    keys = list(map(int, rng.integers(0, 10_000, size=n)))
+
+    print(f"machine: {n} logical processors on B^{k}_{{2,{h}}} "
+          f"({machine.ft.node_count} physical nodes, degree {machine.ft.max_degree()})")
+
+    for round_no, fault in enumerate([None, 7, 19, 33]):
+        if fault is not None:
+            machine.fail_node(fault)
+            print(f"\n*** physical node {fault} fails "
+                  f"({len(machine.faults)}/{k} spares consumed) ***")
+        out, trace = bitonic_sort_on_debruijn(keys, node_map=machine.rec.phi())
+        ok = out == sorted(keys)
+        healthy = trace.verify_against(machine.healthy_graph())
+        print(
+            f"run {round_no}: sorted={ok}, rounds={trace.round_count}, "
+            f"messages={trace.message_count}, "
+            f"all traffic on healthy links={healthy}, faults={machine.faults}"
+        )
+        if not (ok and healthy):
+            return 1
+
+    print("\nSame round count every run: reconfiguration costs zero dilation.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Ascend/Descend (normal) algorithms and their de Bruijn emulation."""
+
+from repro.algorithms.ascend_descend import (
+    DeBruijnEmulation,
+    EmulationTrace,
+    HypercubeRunner,
+    PairOp,
+    ascend_schedule,
+    descend_schedule,
+    run_reference,
+)
+from repro.algorithms.bitonic import (
+    bitonic_compare_op,
+    bitonic_sort_on_debruijn,
+    bitonic_sort_on_hypercube,
+    bitonic_sort_on_shuffle_exchange,
+    bitonic_sort_reference,
+    bitonic_steps,
+)
+from repro.algorithms.prefix import allreduce, broadcast, exclusive_prefix
+from repro.algorithms.fft import bit_reverse_indices, fft, fft_butterfly_op
+from repro.algorithms.emulation import FaultTolerantMachine, RunRecord
+from repro.algorithms.se_emulation import (
+    FaultTolerantSEMachine,
+    ShuffleExchangeEmulation,
+)
+
+__all__ = [
+    "DeBruijnEmulation",
+    "EmulationTrace",
+    "HypercubeRunner",
+    "PairOp",
+    "ascend_schedule",
+    "descend_schedule",
+    "run_reference",
+    "bitonic_compare_op",
+    "bitonic_sort_on_debruijn",
+    "bitonic_sort_on_hypercube",
+    "bitonic_sort_reference",
+    "bitonic_steps",
+    "allreduce",
+    "broadcast",
+    "exclusive_prefix",
+    "bit_reverse_indices",
+    "fft",
+    "fft_butterfly_op",
+    "FaultTolerantMachine",
+    "RunRecord",
+    "bitonic_sort_on_shuffle_exchange",
+    "ShuffleExchangeEmulation",
+    "FaultTolerantSEMachine",
+]

@@ -1,0 +1,112 @@
+"""Bitonic sorting networks as normal-algorithm schedules.
+
+Batcher's bitonic sort over ``2^h`` keys is the canonical Ascend/Descend
+workload: ``h`` merge stages, stage ``s`` running a Descend over bits
+``s-1 .. 0`` with compare directions taken from bit ``s`` of each index
+(stage ``h`` is all-ascending since bit ``h`` of any index is 0).  Total
+``h(h+1)/2`` compare-exchange steps — all of them single-bit pair
+operations, hence runnable verbatim on the de Bruijn emulation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algorithms.ascend_descend import (
+    DeBruijnEmulation,
+    EmulationTrace,
+    HypercubeRunner,
+    PairOp,
+)
+from repro.core.labels import validate_h
+from repro.errors import ParameterError
+
+__all__ = ["bitonic_steps", "bitonic_compare_op", "bitonic_sort_reference",
+           "bitonic_sort_on_debruijn", "bitonic_sort_on_hypercube"]
+
+
+def bitonic_steps(h: int) -> list[tuple[int, int]]:
+    """The ``(stage, bit)`` sequence of Batcher's network.
+
+    >>> bitonic_steps(3)
+    [(1, 0), (2, 1), (2, 0), (3, 2), (3, 1), (3, 0)]
+    """
+    h = validate_h(h, minimum=1)
+    return [(s, t) for s in range(1, h + 1) for t in range(s - 1, -1, -1)]
+
+
+def bitonic_compare_op(stage: int) -> PairOp:
+    """Compare-exchange op for one merge stage.
+
+    Index ``i`` sorts ascending within its block when bit ``stage`` of
+    ``i`` is 0; the element with bit ``bit`` = 0 keeps the small key in an
+    ascending block (large in a descending one).
+    """
+
+    def op(bit: int, i: int, own, partner):
+        ascending = ((i >> stage) & 1) == 0
+        low_side = ((i >> bit) & 1) == 0
+        small, large = (own, partner) if own <= partner else (partner, own)
+        if ascending:
+            return small if low_side else large
+        return large if low_side else small
+
+    return op
+
+
+def bitonic_sort_reference(values: Sequence) -> list:
+    """Sort via the reference (hypercube-semantics) engine."""
+    vals, _ = bitonic_sort_on_hypercube(values)
+    return vals
+
+
+def _run(values: Sequence, runner) -> tuple[list, EmulationTrace]:
+    n = len(values)
+    if n < 2 or n & (n - 1):
+        raise ParameterError(f"bitonic sort needs a power-of-two size, got {n}")
+    h = n.bit_length() - 1
+    vals = list(values)
+    trace = EmulationTrace()
+    for stage, bit in bitonic_steps(h):
+        vals, t = runner(vals, [bit], bitonic_compare_op(stage))
+        trace.rounds.extend(t.rounds)
+    return vals, trace
+
+
+def bitonic_sort_on_hypercube(values: Sequence) -> tuple[list, EmulationTrace]:
+    """Sort on the direct hypercube runner; returns values and the trace."""
+    n = len(values)
+    if n < 2 or n & (n - 1):
+        raise ParameterError(f"bitonic sort needs a power-of-two size, got {n}")
+    h = n.bit_length() - 1
+    runner = HypercubeRunner(max(h, 1))
+    return _run(values, runner.run)
+
+
+def bitonic_sort_on_debruijn(
+    values: Sequence, node_map=None
+) -> tuple[list, EmulationTrace]:
+    """Sort on the de Bruijn emulation (optionally through a
+    reconfiguration map).  The trace verifies against ``B_{2,h}`` — or
+    against ``B^k_{2,h}`` when ``node_map`` is a survivor remap φ."""
+    n = len(values)
+    if n < 2 or n & (n - 1):
+        raise ParameterError(f"bitonic sort needs a power-of-two size, got {n}")
+    h = n.bit_length() - 1
+    emu = DeBruijnEmulation(max(h, 1), node_map=node_map)
+    return _run(values, emu.run)
+
+
+def bitonic_sort_on_shuffle_exchange(
+    values: Sequence, node_map=None
+) -> tuple[list, EmulationTrace]:
+    """Sort on the shuffle-exchange emulation (optionally through the
+    composed remap ``φ[ψ]`` of a fault-tolerant SE machine)."""
+    from repro.algorithms.se_emulation import ShuffleExchangeEmulation
+
+    n = len(values)
+    if n < 2 or n & (n - 1):
+        raise ParameterError(f"bitonic sort needs a power-of-two size, got {n}")
+    h = n.bit_length() - 1
+    emu = ShuffleExchangeEmulation(max(h, 1), node_map=node_map)
+    return _run(values, emu.run)

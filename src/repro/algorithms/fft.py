@@ -1,0 +1,81 @@
+"""Radix-2 decimation-in-frequency FFT as a Descend schedule.
+
+DIF processes bits high-to-low — a pure Descend — which is why de Bruijn
+and shuffle-exchange machines were historically pitched at signal
+processing (Stone's original shuffle paper [13] is about exactly this).
+The butterfly at bit ``j`` for pair ``(i0, i1 = i0 + 2^j)``:
+
+    out[i0] = a + b
+    out[i1] = (a - b) * W_N^{(i0 mod 2^j) * 2^{h-1-j}}
+
+The result appears in bit-reversed index order; :func:`fft` returns it
+re-permuted to natural order and is verified against ``numpy.fft.fft``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.ascend_descend import (
+    DeBruijnEmulation,
+    EmulationTrace,
+    HypercubeRunner,
+    descend_schedule,
+)
+from repro.errors import ParameterError
+
+__all__ = ["bit_reverse_indices", "fft", "fft_butterfly_op"]
+
+
+def bit_reverse_indices(h: int) -> np.ndarray:
+    """Index permutation ``rev`` with ``rev[k]`` = ``k`` bit-reversed."""
+    n = 1 << h
+    rev = np.zeros(n, dtype=np.int64)
+    tmp = np.arange(n, dtype=np.int64)
+    for _ in range(h):
+        rev = (rev << 1) | (tmp & 1)
+        tmp >>= 1
+    return rev
+
+
+def fft_butterfly_op(h: int):
+    """The DIF butterfly as a PairOp over complex values."""
+    n = 1 << h
+    w = np.exp(-2j * np.pi / n)
+
+    def op(bit, i, own, partner):
+        if ((i >> bit) & 1) == 0:
+            return own + partner
+        # own is the upper element: b; partner is a
+        exponent = (i % (1 << bit)) << (h - 1 - bit)
+        return (partner - own) * (w ** exponent)
+
+    return op
+
+
+def fft(values, *, backend: str = "debruijn", node_map=None) -> tuple[np.ndarray, EmulationTrace]:
+    """FFT of ``values`` (length ``2^h``) in natural order, plus the trace.
+
+    ``backend`` selects the hypercube runner or the de Bruijn emulation
+    (optionally through a reconfiguration node map φ).
+    """
+    vals = np.asarray(values, dtype=np.complex128)
+    n = vals.shape[0]
+    if n < 2 or n & (n - 1):
+        raise ParameterError(f"fft needs a power-of-two size, got {n}")
+    h = n.bit_length() - 1
+    if backend == "hypercube":
+        runner = HypercubeRunner(h).run
+    elif backend == "debruijn":
+        runner = DeBruijnEmulation(h, node_map=node_map).run
+    elif backend in ("shuffle-exchange", "se"):
+        from repro.algorithms.se_emulation import ShuffleExchangeEmulation
+
+        runner = ShuffleExchangeEmulation(h, node_map=node_map).run
+    else:
+        raise ParameterError(f"unknown backend {backend!r}")
+    out, trace = runner(list(vals), descend_schedule(h), fft_butterfly_op(h))
+    out = np.asarray(out, dtype=np.complex128)
+    natural = np.empty_like(out)
+    natural[:] = out[bit_reverse_indices(h)]
+    return natural, trace

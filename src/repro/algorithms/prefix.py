@@ -1,0 +1,119 @@
+"""Reductions, broadcasts and parallel prefix as Ascend schedules.
+
+These are the bread-and-butter collectives of normal algorithms: one pass
+over the bits with a constant-size state per node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.algorithms.ascend_descend import (
+    DeBruijnEmulation,
+    EmulationTrace,
+    HypercubeRunner,
+    ascend_schedule,
+)
+from repro.core.labels import validate_h
+from repro.errors import ParameterError
+
+__all__ = ["allreduce", "exclusive_prefix", "broadcast"]
+
+
+def _engine(h: int, backend: str, node_map):
+    if backend == "hypercube":
+        return HypercubeRunner(h).run
+    if backend == "debruijn":
+        return DeBruijnEmulation(h, node_map=node_map).run
+    if backend in ("shuffle-exchange", "se"):
+        from repro.algorithms.se_emulation import ShuffleExchangeEmulation
+
+        return ShuffleExchangeEmulation(h, node_map=node_map).run
+    raise ParameterError(f"unknown backend {backend!r}")
+
+
+def _size_to_h(n: int) -> int:
+    if n < 2 or n & (n - 1):
+        raise ParameterError(f"collectives need a power-of-two size, got {n}")
+    return validate_h(n.bit_length() - 1, minimum=1)
+
+
+def allreduce(
+    values: Sequence,
+    combine: Callable = lambda a, b: a + b,
+    *,
+    backend: str = "debruijn",
+    node_map=None,
+) -> tuple[list, EmulationTrace]:
+    """Every node ends with ``combine`` folded over all inputs.
+
+    One Ascend pass: at bit ``j`` each node folds its partner's partial
+    result (associative+commutative ``combine`` required).
+    """
+    h = _size_to_h(len(values))
+
+    def op(bit, i, own, partner):
+        return combine(own, partner)
+
+    return _engine(h, backend, node_map)(list(values), ascend_schedule(h), op)
+
+
+def exclusive_prefix(
+    values: Sequence,
+    combine: Callable = lambda a, b: a + b,
+    zero=0,
+    *,
+    backend: str = "debruijn",
+    node_map=None,
+) -> tuple[list, EmulationTrace]:
+    """Exclusive scan: output ``i`` is ``combine`` over inputs ``< i``.
+
+    State per node is ``(prefix, subcube_total)``; at bit ``j`` the upper
+    partner (bit set) absorbs the lower partner's total into its prefix,
+    and both merge totals — the classic hypercube scan, here run on the
+    de Bruijn emulation by default.
+    """
+    h = _size_to_h(len(values))
+    state = [(zero, v) for v in values]
+
+    def op(bit, i, own, partner):
+        pre, tot = own
+        _p_pre, p_tot = partner
+        if (i >> bit) & 1:
+            # upper half: the partner's block precedes mine in index order,
+            # so its total is combined on the LEFT (non-commutative safe)
+            return (combine(p_tot, pre), combine(p_tot, tot))
+        return (pre, combine(tot, p_tot))
+
+    out, trace = _engine(h, backend, node_map)(state, ascend_schedule(h), op)
+    return [pre for pre, _tot in out], trace
+
+
+def broadcast(
+    value,
+    root: int,
+    size: int,
+    *,
+    backend: str = "debruijn",
+    node_map=None,
+) -> tuple[list, EmulationTrace]:
+    """One-to-all broadcast from ``root`` as an Ascend pass over
+    (known?, value) flags."""
+    h = _size_to_h(size)
+    if not 0 <= root < size:
+        raise ParameterError(f"root {root} out of range [0, {size})")
+    state = [(i == root, value if i == root else None) for i in range(size)]
+
+    def op(bit, i, own, partner):
+        known, val = own
+        p_known, p_val = partner
+        if known:
+            return own
+        if p_known:
+            return (True, p_val)
+        return own
+
+    out, trace = _engine(h, backend, node_map)(state, ascend_schedule(h), op)
+    if not all(k for k, _ in out):
+        raise ParameterError("broadcast failed to reach all nodes")  # pragma: no cover
+    return [v for _k, v in out], trace

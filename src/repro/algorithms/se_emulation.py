@@ -1,0 +1,164 @@
+"""Normal algorithms on the shuffle-exchange network.
+
+The shuffle-exchange runs Ascend/Descend with a factor-2 slowdown: where
+the de Bruijn graph's edges combine "shuffle and exchange" in one hop,
+SE_h spends one *shuffle* round moving every item along its cycle edge
+and one *exchange* round combining partners across exchange edges.
+
+Placement invariant: after ``t`` net shuffle rounds, logical item ``b``
+sits at SE node ``rot^t(b)``.  Items differing in logical bit ``j`` are
+exchange partners (physical bit 0) exactly when ``(j + t) mod h == 0``;
+pair rounds leave the placement unchanged, shuffle rounds advance it.
+
+The same class runs on the *fault-tolerant* shuffle-exchange machine:
+pass ``node_map = φ[ψ]`` (reconfiguration remap composed with the SE→dB
+embedding) and every recorded message is an edge of ``B^k_{2,h}`` between
+healthy nodes — which is the §I claim for shuffle-exchange targets, made
+executable (see :class:`FaultTolerantSEMachine`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.ascend_descend import EmulationTrace, PairOp
+from repro.core.debruijn import debruijn
+from repro.core.fault_tolerant import ft_debruijn
+from repro.core.labels import rotate_left, validate_h
+from repro.core.reconfiguration import Reconfigurator
+from repro.core.shuffle_exchange import psi_map, shuffle_exchange
+from repro.errors import ParameterError, SimulationError
+from repro.graphs.static_graph import StaticGraph
+
+__all__ = ["ShuffleExchangeEmulation", "FaultTolerantSEMachine"]
+
+
+class ShuffleExchangeEmulation:
+    """Run pair-op schedules on SE_h (optionally through a node map).
+
+    API mirrors :class:`~repro.algorithms.ascend_descend.DeBruijnEmulation`:
+    ``run(values, schedule, op) -> (values, trace)``.
+    """
+
+    def __init__(self, h: int, node_map: np.ndarray | None = None):
+        self.h = validate_h(h)
+        self.n = 1 << h
+        if node_map is None:
+            node_map = np.arange(self.n, dtype=np.int64)
+        self.node_map = np.asarray(node_map, dtype=np.int64)
+        if self.node_map.shape != (self.n,):
+            raise ParameterError(
+                f"node_map must have length {self.n}, got {self.node_map.shape}"
+            )
+
+    def _positions(self, t: int) -> np.ndarray:
+        ids = np.arange(self.n, dtype=np.int64)
+        return self.node_map[rotate_left(ids, 2, self.h, steps=t % self.h)]
+
+    def _shuffle_round(self, t: int, forward: bool) -> list[tuple[int, int]]:
+        """All items move along shuffle (forward) or unshuffle edges."""
+        src = self._positions(t)
+        dst = self._positions(t + 1 if forward else t - 1)
+        return [(int(a), int(b)) for a, b in zip(src, dst) if a != b]
+
+    def _exchange_round(self, t: int) -> list[tuple[int, int]]:
+        """Partners (physical bit 0) swap values over exchange edges."""
+        ids = np.arange(self.n, dtype=np.int64)
+        u = rotate_left(ids, 2, self.h, steps=t % self.h)
+        msgs = {
+            (int(a), int(b))
+            for a, b in zip(self.node_map[u], self.node_map[u ^ 1])
+            if a != b
+        }
+        return sorted(msgs)
+
+    def run(
+        self, values: Sequence, schedule: Sequence[int], op: PairOp
+    ) -> tuple[list, EmulationTrace]:
+        """Execute ``schedule``; results returned in logical index order."""
+        if len(values) != self.n:
+            raise ParameterError(f"need exactly {self.n} values")
+        vals = list(values)
+        trace = EmulationTrace()
+        t = 0
+        for bit in schedule:
+            if not 0 <= bit < self.h:
+                raise ParameterError(f"bit {bit} out of range for h={self.h}")
+            needed = (-bit) % self.h
+            delta = (needed - t) % self.h
+            if delta <= self.h - delta:
+                for _ in range(delta):
+                    trace.rounds.append(self._shuffle_round(t, forward=True))
+                    t += 1
+            else:
+                for _ in range(self.h - delta):
+                    trace.rounds.append(self._shuffle_round(t, forward=False))
+                    t -= 1
+            if (bit + t) % self.h != 0:
+                raise SimulationError("SE alignment invariant violated")
+            trace.rounds.append(self._exchange_round(t))
+            vals = [op(bit, i, vals[i], vals[i ^ (1 << bit)]) for i in range(self.n)]
+        while t % self.h != 0:
+            delta = (-t) % self.h
+            if delta <= self.h - delta:
+                trace.rounds.append(self._shuffle_round(t, forward=True))
+                t += 1
+            else:
+                trace.rounds.append(self._shuffle_round(t, forward=False))
+                t -= 1
+        return vals, trace
+
+
+class FaultTolerantSEMachine:
+    """A logical SE_h machine on a ``B^k_{2,h}`` substrate.
+
+    Logical SE node ``v`` is hosted on physical node ``φ(ψ(v))`` — the
+    paper's §I composition.  :meth:`emulation` returns a runner whose
+    traces verify against the healthy fault-tolerant graph.
+    """
+
+    def __init__(self, h: int, k: int):
+        self.h, self.k = int(h), int(k)
+        self.n = 1 << h
+        self.ft = ft_debruijn(2, h, k)
+        self.se = shuffle_exchange(h)
+        self.db = debruijn(2, h)
+        self.psi = psi_map(h)
+        self.rec = Reconfigurator(self.ft.node_count, self.n)
+
+    def fail_node(self, physical: int) -> None:
+        self.rec.fail_node(physical)
+
+    def repair_node(self, physical: int) -> None:
+        self.rec.repair_node(physical)
+
+    @property
+    def faults(self) -> tuple[int, ...]:
+        return self.rec.faults
+
+    def node_map(self) -> np.ndarray:
+        """Current physical host of each logical SE node: ``φ[ψ]``."""
+        return self.rec.phi()[self.psi]
+
+    def healthy_graph(self) -> StaticGraph:
+        """``B^k_{2,h}`` with faulty nodes isolated."""
+        if not self.rec.faults:
+            return self.ft
+        sub, kept = self.ft.without_nodes(list(self.rec.faults))
+        e = sub.edges()
+        return StaticGraph(self.ft.node_count, kept[e] if e.shape[0] else ())
+
+    def emulation(self) -> ShuffleExchangeEmulation:
+        return ShuffleExchangeEmulation(self.h, node_map=self.node_map())
+
+    def run(self, values, schedule, op):
+        """Run and verify: every SE round must ride healthy FT edges."""
+        emu = self.emulation()
+        vals, trace = emu.run(values, schedule, op)
+        if not trace.verify_against(self.healthy_graph()):
+            raise SimulationError(
+                "SE emulation used a faulty or missing physical edge"
+            )
+        return vals, trace

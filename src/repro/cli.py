@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``build``    construct a graph family member and print its vitals
+``verify``   run a (k, G)-tolerance check (exhaustive or sampled)
+``report``   regenerate paper figures/tables (delegates to the registry)
+``route``    show a logical route and its lift under a fault set
+``demo``     thirty-second tour: construct, fail, reconfigure, verify
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import (
+    bus_ft_debruijn,
+    debruijn,
+    exhaustive_tolerance_check,
+    ft_debruijn,
+    ft_degree_bound,
+    natural_ft_shuffle_exchange,
+    psi_map,
+    random_tolerance_check,
+    samatham_pradhan,
+    shuffle_exchange,
+)
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    kind = args.kind
+    if kind == "debruijn":
+        g = debruijn(args.m, args.h)
+        extra = ""
+    elif kind == "ft":
+        g = ft_debruijn(args.m, args.h, args.k)
+        extra = f", degree bound {ft_degree_bound(args.m, args.k)}"
+    elif kind == "se":
+        g = shuffle_exchange(args.h)
+        extra = ""
+    elif kind == "natural-ft-se":
+        g = natural_ft_shuffle_exchange(args.h, args.k)
+        extra = f", degree bound {6 * args.k + 6}"
+    elif kind == "sp":
+        g = samatham_pradhan(args.m, args.h, args.k)
+        extra = " (Samatham-Pradhan baseline)"
+    elif kind == "bus":
+        bg = bus_ft_debruijn(args.h, args.k)
+        print(
+            f"bus B^{args.k}_{{2,{args.h}}}: {bg.node_count} nodes, "
+            f"{bg.bus_count} buses, max bus-degree {bg.max_bus_degree()} "
+            f"(bound 2k+3 = {2 * args.k + 3})"
+        )
+        return 0
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown kind {kind}")
+    print(
+        f"{kind}(m={args.m}, h={args.h}, k={args.k}): {g.node_count} nodes, "
+        f"{g.edge_count} edges, max degree {g.max_degree()}{extra}"
+    )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    ft = ft_debruijn(args.m, args.h, args.k)
+    if args.target == "se":
+        if args.m != 2:
+            print("shuffle-exchange targets require m=2", file=sys.stderr)
+            return 2
+        target = shuffle_exchange(args.h)
+        lm = psi_map(args.h)
+    else:
+        target = debruijn(args.m, args.h)
+        lm = None
+    if args.samples:
+        rep = random_tolerance_check(
+            ft, target, args.k, samples=args.samples,
+            rng=np.random.default_rng(args.seed), logical_map=lm,
+        )
+    else:
+        rep = exhaustive_tolerance_check(ft, target, args.k, logical_map=lm)
+    print(rep)
+    return 0 if rep.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import main as report_main
+
+    return report_main(args.ids or None)
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.routing import ReconfiguredRouter
+
+    router = ReconfiguredRouter(args.m, args.h, args.k)
+    for f in args.fault:
+        router.fail_node(f)
+    logical = router.logical_route(args.src, args.dst)
+    physical = router.physical_route(args.src, args.dst)
+    print(f"logical  ({len(logical) - 1} hops): {logical}")
+    print(f"physical ({len(physical) - 1} hops): {physical}")
+    print(f"faults: {list(router.reconfigurator.faults)} — zero dilation")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core import embed_after_faults
+    from repro.viz import relabeled_listing
+
+    h, k, fault = 4, 1, 4
+    ft = ft_debruijn(2, h, k)
+    target = debruijn(2, h)
+    print(f"B^{k}_{{2,{h}}}: {ft.node_count} nodes (minimum possible: N+k), "
+          f"degree {ft.max_degree()}")
+    print(f"\n*** node {fault} fails ***\n")
+    phi = embed_after_faults(ft, target, faults=[fault])
+    print(relabeled_listing(ft.node_count, phi, [fault], 2, h))
+    rep = exhaustive_tolerance_check(ft, target, k)
+    print(f"\nand this works for EVERY fault: {rep}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant de Bruijn and shuffle-exchange networks "
+                    "(Bruck, Cypher, Ho; ICPP 1992)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    b = sub.add_parser("build", help="construct a graph and print vitals")
+    b.add_argument("kind", choices=["debruijn", "ft", "se", "natural-ft-se", "sp", "bus"])
+    b.add_argument("--m", type=int, default=2)
+    b.add_argument("--h", type=int, default=4)
+    b.add_argument("--k", type=int, default=1)
+    b.set_defaults(func=_cmd_build)
+
+    v = sub.add_parser("verify", help="run a (k, G)-tolerance check")
+    v.add_argument("--m", type=int, default=2)
+    v.add_argument("--h", type=int, default=3)
+    v.add_argument("--k", type=int, default=1)
+    v.add_argument("--target", choices=["debruijn", "se"], default="debruijn")
+    v.add_argument("--samples", type=int, default=0,
+                   help="random sample count (0 = exhaustive)")
+    v.add_argument("--seed", type=int, default=0)
+    v.set_defaults(func=_cmd_verify)
+
+    r = sub.add_parser("report", help="regenerate paper figures/tables")
+    r.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    r.set_defaults(func=_cmd_report)
+
+    rt = sub.add_parser("route", help="route with reconfiguration")
+    rt.add_argument("src", type=int)
+    rt.add_argument("dst", type=int)
+    rt.add_argument("--m", type=int, default=2)
+    rt.add_argument("--h", type=int, default=4)
+    rt.add_argument("--k", type=int, default=1)
+    rt.add_argument("--fault", type=int, action="append", default=[])
+    rt.set_defaults(func=_cmd_route)
+
+    d = sub.add_parser("demo", help="thirty-second tour")
+    d.set_defaults(func=_cmd_demo)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""The paper's constructions: de Bruijn, FT de Bruijn, shuffle-exchange, buses."""
+
+from repro.core.labels import (
+    exchange,
+    format_label,
+    from_digits,
+    necklace_of,
+    necklaces,
+    rank,
+    rank_array,
+    rotate_left,
+    rotate_right,
+    to_digits,
+    weight,
+)
+from repro.core.xfunc import (
+    ft_window,
+    predecessor_solutions,
+    successor_block,
+    target_window,
+    wrap_count,
+    x_func,
+    x_func_array,
+)
+from repro.core.debruijn import (
+    debruijn,
+    debruijn_digit_definition,
+    debruijn_directed_successors,
+    node_count,
+)
+from repro.core.fault_tolerant import (
+    ft_debruijn,
+    ft_degree_bound,
+    ft_node_count,
+    neighbor_blocks,
+)
+from repro.core.reconfiguration import Reconfigurator, rank_remap
+from repro.core.embedding import Embedding, identity_embedding
+from repro.core.shuffle_exchange import (
+    embed_se_in_debruijn,
+    embed_se_in_ft_debruijn,
+    ft_shuffle_exchange,
+    psi_map,
+    se_node_count,
+    shuffle_exchange,
+)
+from repro.core.tolerance import (
+    ToleranceReport,
+    adversarial_fault_sets,
+    embed_after_faults,
+    exhaustive_tolerance_check,
+    max_tolerated_faults,
+    random_tolerance_check,
+)
+from repro.core.buses import (
+    bus_debruijn,
+    bus_degree_bound,
+    bus_degree_bound_basem,
+    bus_ft_debruijn,
+    bus_ft_debruijn_basem,
+    reconfigure_with_bus_faults,
+    verify_bus_embedding,
+)
+from repro.core.baselines import (
+    natural_ft_se_degree_bound,
+    natural_ft_shuffle_exchange,
+    samatham_pradhan,
+    sp_colour_copies,
+    sp_node_count,
+    sp_reconfigure,
+    sp_reported_degree,
+)
+from repro.core.bounds import (
+    ConstructionSpec,
+    corollary_table,
+    optimal_ft_node_count,
+    paper_constructions,
+    target_degree_bound,
+)
+from repro.core.edge_faults import (
+    edge_faults_to_node_faults,
+    minimum_cover_nodes,
+    reconfigure_with_edge_faults,
+)
+from repro.core.sequences import (
+    de_bruijn_sequence,
+    hamiltonian_cycle,
+    is_de_bruijn_sequence,
+    line_digraph_arcs,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

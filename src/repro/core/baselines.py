@@ -1,0 +1,145 @@
+"""Baseline constructions the paper compares against (§I).
+
+* **Samatham–Pradhan** [12]: tolerate ``k`` faults in ``B_{m,h}`` by using
+  the *larger de Bruijn graph* ``B_{m(k+1),h}`` as the fault-tolerant
+  graph.  Correctness hinges on a clean structural fact re-derived here:
+  encoding each base-``m(k+1)`` digit as ``d = v + m*c`` with value
+  ``v ∈ {0..m-1}`` and colour ``c ∈ {0..k}`` yields ``k + 1`` *node-disjoint*
+  constant-colour copies of ``B_{m,h}``; any ``k`` faults miss at least one
+  copy.  The price is ``(m(k+1))^h = N^{log_m m(k+1)}`` nodes — exponential
+  blowup versus the paper's ``N + k``.
+
+* **Natural-labeling FT shuffle-exchange**: apply the paper's §III technique
+  to SE_h directly (shuffle edges are affine, ``rot(x) ∈ {2x, 2x+1} mod 2^h``,
+  so they are covered by the de Bruijn FT window; exchange edges
+  ``y = x ± 1`` need an extra near-diagonal band ``|φ(x) - φ(y)| <= k+1``).
+  Our derivation gives degree at most ``6k + 6`` (the paper's prose says
+  ``6k + 4``; the two-unit gap is documented in EXPERIMENTS.md) — either
+  way it loses to the ``4k + 4`` of the ψ-relabeled construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.debruijn import debruijn, node_count
+from repro.core.fault_tolerant import ft_debruijn
+from repro.core.labels import to_digits, from_digits, validate_base, validate_h
+from repro.errors import FaultSetError, ParameterError
+from repro.graphs.static_graph import StaticGraph
+
+__all__ = [
+    "samatham_pradhan",
+    "sp_node_count",
+    "sp_colour_copies",
+    "sp_reconfigure",
+    "sp_reported_degree",
+    "natural_ft_shuffle_exchange",
+    "natural_ft_se_degree_bound",
+]
+
+
+# --------------------------------------------------------------------------
+# Samatham–Pradhan
+# --------------------------------------------------------------------------
+
+def sp_node_count(m: int, h: int, k: int) -> int:
+    """``(m(k+1))^h`` — the S–P fault-tolerant graph's node count."""
+    validate_base(m)
+    validate_h(h)
+    if k < 0:
+        raise ParameterError(f"k must be >= 0, got {k}")
+    return (m * (k + 1)) ** h
+
+
+def sp_reported_degree(m: int, k: int) -> int:
+    """The degree figure the paper's introduction quotes for S–P:
+    ``2mk + 2`` (``4k + 2`` when ``m = 2``).  The constructed graph
+    ``B_{m(k+1),h}`` has worst-case degree ``2m(k+1)``; benches report the
+    measured value next to this quoted one."""
+    return 2 * m * k + 2
+
+
+def samatham_pradhan(m: int, h: int, k: int) -> StaticGraph:
+    """The S–P fault-tolerant graph for target ``B_{m,h}``: simply
+    ``B_{m(k+1),h}``."""
+    validate_base(m)
+    if k < 0:
+        raise ParameterError(f"k must be >= 0, got {k}")
+    return debruijn(m * (k + 1), h)
+
+
+def sp_colour_copies(m: int, h: int, k: int) -> list[np.ndarray]:
+    """The ``k + 1`` node-disjoint embeddings of ``B_{m,h}`` inside
+    ``B_{m(k+1),h}``.
+
+    Copy ``c`` maps the target node with digits ``(v_{h-1},...,v_0)`` to the
+    big-graph node with digits ``(v_i + m*c)``.  Disjointness and edge
+    preservation are verified in tests (edge preservation: a successor in
+    the copy appends a digit from the same colour class, which is a legal
+    big-graph successor).
+    """
+    n = node_count(m, h)
+    target_digits = to_digits(np.arange(n, dtype=np.int64), m, h)
+    big_m = m * (k + 1)
+    copies = []
+    for c in range(k + 1):
+        copies.append(from_digits(target_digits + m * c, big_m))
+    return copies
+
+
+def sp_reconfigure(m: int, h: int, k: int, faults) -> np.ndarray:
+    """S–P reconfiguration: return the node map of the first colour copy
+    untouched by ``faults``.  Raises :class:`FaultSetError` when every copy
+    is hit (cannot happen for ``len(faults) <= k`` — pigeonhole — which is
+    the executable content of their theorem)."""
+    fset = {int(v) for v in faults}
+    for copy in sp_colour_copies(m, h, k):
+        if not fset.intersection(int(v) for v in copy):
+            return copy
+    raise FaultSetError(
+        f"all {k + 1} colour copies hit by faults (|F|={len(fset)})"
+    )
+
+
+# --------------------------------------------------------------------------
+# Natural-labeling fault-tolerant shuffle-exchange
+# --------------------------------------------------------------------------
+
+def natural_ft_se_degree_bound(k: int) -> int:
+    """Our derived bound for the natural-labeling FT-SE: ``6k + 6``
+    (= ``4k + 4`` shuffle-type + ``2k + 2`` exchange-type edges).
+
+    The paper's §I remark quotes ``6k + 4``; see EXPERIMENTS.md (SENAT) for
+    the measured values and discussion.
+    """
+    if k < 0:
+        raise ParameterError(f"k must be >= 0, got {k}")
+    return 6 * k + 6
+
+
+def natural_ft_shuffle_exchange(h: int, k: int) -> StaticGraph:
+    """FT graph for ``SE_h`` under the *natural* (identity) labeling.
+
+    Nodes ``0..2^h + k - 1``.  Edges:
+
+    * the full ``B^k_{2,h}`` window edges (these cover all shuffle edges,
+      since ``rot(x) = (2x + x_{h-1}) mod 2^h`` is an affine de Bruijn edge
+      and Lemma 2's wrap analysis applies verbatim), and
+    * a near-diagonal band ``(a, a + d)`` for ``d in 1..k+1`` covering the
+      exchange edges: for ``x`` even, ``y = x + 1`` and monotonicity gives
+      ``φ(y) - φ(x) in [1, k+1]``; for ``x`` odd symmetric.  No modular wrap
+      is needed because φ is monotone into ``[0, 2^h + k)``.
+
+    (k, SE_h)-tolerance under the identity logical map is verified
+    exhaustively in tests.
+    """
+    base = ft_debruijn(2, h, k)
+    n = base.node_count
+    a = np.arange(n, dtype=np.int64)
+    band = []
+    for d in range(1, k + 2):
+        src = a[: n - d]
+        band.append(np.column_stack([src, src + d]))
+    extra = StaticGraph(n, np.vstack(band) if band else ())
+    return base.union(extra)

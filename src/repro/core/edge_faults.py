@@ -1,0 +1,99 @@
+"""Edge (link) faults, reduced to node faults (paper §I).
+
+    "We consider only node faults, but it should be noted that edge
+     faults can be tolerated by viewing a node that is incident to the
+     faulty edge as being faulty."
+
+This module makes that sentence executable and *optimal in the stated
+sense*: given a set of faulty edges, it selects a minimum set of nodes
+covering them (minimum vertex cover on the fault-edge subgraph) so the
+spare budget is consumed as slowly as possible.  The fault-edge graphs
+arising in practice are tiny (≤ k edges), so exact cover via branch and
+bound is cheap.
+
+Mixed fault sets (nodes + edges) are supported; the result plugs
+directly into the standard reconfiguration path.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.reconfiguration import rank_remap
+from repro.errors import FaultSetError
+from repro.graphs.static_graph import StaticGraph
+
+__all__ = [
+    "minimum_cover_nodes",
+    "edge_faults_to_node_faults",
+    "reconfigure_with_edge_faults",
+]
+
+
+def minimum_cover_nodes(edges: list[tuple[int, int]]) -> list[int]:
+    """A minimum vertex cover of the given edge list (exact, branch and
+    bound; intended for fault sets of at most a few dozen edges).
+
+    >>> minimum_cover_nodes([(0, 1), (1, 2)])
+    [1]
+    """
+    uniq = sorted({(min(u, v), max(u, v)) for u, v in edges if u != v})
+    if not uniq:
+        return []
+    nodes = sorted({v for e in uniq for v in e})
+    # try cover sizes 1..len(nodes); the fault sets are tiny so the
+    # combinatorial loop is bounded by C(2|E|, |E|) in the worst case.
+    for size in range(1, len(nodes) + 1):
+        for cand in combinations(nodes, size):
+            cset = set(cand)
+            if all(u in cset or v in cset for u, v in uniq):
+                return sorted(cand)
+    return nodes  # pragma: no cover - unreachable (full set always covers)
+
+
+def edge_faults_to_node_faults(
+    g: StaticGraph,
+    edge_faults: list[tuple[int, int]],
+    node_faults=(),
+) -> np.ndarray:
+    """Combined effective node-fault set for mixed node+edge faults.
+
+    Every faulty edge must be a real edge of ``g``; the cover is chosen
+    to avoid double-charging nodes that are already faulty (their
+    incident faulty edges are covered for free).
+    """
+    nf = {int(v) for v in node_faults}
+    remaining = []
+    for u, v in edge_faults:
+        u, v = int(u), int(v)
+        if not g.has_edge(u, v):
+            raise FaultSetError(f"({u}, {v}) is not an edge of the graph")
+        if u not in nf and v not in nf:
+            remaining.append((u, v))
+    cover = minimum_cover_nodes(remaining)
+    return np.array(sorted(nf | set(cover)), dtype=np.int64)
+
+
+def reconfigure_with_edge_faults(
+    ft: StaticGraph,
+    target_size: int,
+    edge_faults: list[tuple[int, int]],
+    node_faults=(),
+    *,
+    budget: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full §I pipeline: reduce edge faults to node faults, check the
+    spare budget, and return ``(phi, effective_node_faults)``.
+
+    ``budget`` defaults to ``ft.node_count - target_size`` (= k).
+    """
+    eff = edge_faults_to_node_faults(ft, edge_faults, node_faults)
+    k = ft.node_count - target_size if budget is None else int(budget)
+    if eff.size > k:
+        raise FaultSetError(
+            f"{eff.size} effective node faults exceed the budget k={k} "
+            f"(edge faults may cost one node each)"
+        )
+    return rank_remap(ft.node_count, eff, target_size), eff

@@ -1,0 +1,90 @@
+"""Embedding certificates (paper Section II's embedding definition).
+
+An *embedding* of ``G`` into ``G'`` is an injective node map ``φ`` such that
+every edge of ``G`` maps onto an edge of ``G'``.  :class:`Embedding` bundles
+the three graphs-and-map ingredients with O(E) verification, composition
+(used to chain SE -> B_{2,h} -> B^k_{2,h}), and restriction to survivor
+subgraphs — the exact operations the paper's arguments compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+from repro.graphs.isomorphism import verify_embedding
+from repro.graphs.static_graph import StaticGraph
+
+__all__ = ["Embedding", "identity_embedding"]
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """A verified embedding ``pattern -> host``.
+
+    Construction *always verifies* (raises :class:`EmbeddingError` on a bad
+    certificate), so an :class:`Embedding` instance is proof-carrying: its
+    existence certifies ``pattern ⊆ host`` up to relabeling.
+    """
+
+    pattern: StaticGraph
+    host: StaticGraph
+    node_map: np.ndarray = field(repr=False)
+
+    def __post_init__(self):
+        nm = np.asarray(self.node_map, dtype=np.int64)
+        object.__setattr__(self, "node_map", nm)
+        verify_embedding(self.pattern, self.host, nm, raise_on_fail=True)
+
+    def __call__(self, v: int) -> int:
+        """Image of pattern node ``v``."""
+        return int(self.node_map[v])
+
+    def compose(self, outer: "Embedding") -> "Embedding":
+        """``outer ∘ self``: embed this pattern into ``outer.host``.
+
+        Requires ``self.host`` and ``outer.pattern`` to have the same node
+        count and ``self.host``'s edges to be a subset of ``outer.pattern``'s
+        (identity interface), which is how the paper chains
+        SE ⊆ B_{2,h} with the (k, B_{2,h})-tolerance of ``B^k_{2,h}``.
+        """
+        if self.host.node_count != outer.pattern.node_count:
+            raise EmbeddingError(
+                "compose: inner host and outer pattern sizes differ "
+                f"({self.host.node_count} != {outer.pattern.node_count})"
+            )
+        if not self.host.is_edge_subset_of(outer.pattern):
+            raise EmbeddingError(
+                "compose: inner host edges are not contained in outer pattern"
+            )
+        return Embedding(self.pattern, outer.host, outer.node_map[self.node_map])
+
+    def image_nodes(self) -> np.ndarray:
+        """Sorted array of host nodes in the image."""
+        return np.sort(self.node_map)
+
+    def image_graph(self) -> StaticGraph:
+        """The pattern pushed through the map, as a graph on the host's
+        node set (edges actually used in the host)."""
+        e = self.pattern.edges()
+        return StaticGraph(
+            self.host.node_count, self.node_map[e] if e.shape[0] else ()
+        )
+
+    def used_host_edge_fraction(self) -> float:
+        """Fraction of host edges exercised by the embedded pattern —
+        a redundancy metric (FT graphs keep this well below 1)."""
+        if self.host.edge_count == 0:
+            return 0.0
+        return self.image_graph().edge_count / self.host.edge_count
+
+
+def identity_embedding(pattern: StaticGraph, host: StaticGraph) -> Embedding:
+    """The identity node map as an embedding (verifies ``pattern``'s edges
+    are host edges verbatim) — e.g. ``B_{2,h} ⊆ B^k_{2,h}`` as noted in
+    §III.B."""
+    return Embedding(
+        pattern, host, np.arange(pattern.node_count, dtype=np.int64)
+    )

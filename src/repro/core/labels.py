@@ -1,0 +1,206 @@
+"""Digit-string labels, ranks, and rotations (paper Section II).
+
+The paper writes the ``h``-digit base-``m`` representation of ``x`` as
+``[x_{h-1}, x_{h-2}, ..., x_0]_m`` (big-endian).  This module provides the
+conversions and the string operations (cyclic shifts, exchange, weight,
+necklaces) that both de Bruijn and shuffle-exchange definitions are built
+from, plus the ``Rank`` function that drives the reconfiguration algorithm.
+
+All bulk operations are vectorized over node arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "to_digits",
+    "from_digits",
+    "format_label",
+    "rank",
+    "rank_array",
+    "rotate_left",
+    "rotate_right",
+    "exchange",
+    "weight",
+    "necklace_of",
+    "necklaces",
+    "validate_base",
+    "validate_h",
+]
+
+
+def validate_base(m: int) -> int:
+    """Validate a de Bruijn base (paper: ``m >= 2``)."""
+    m = int(m)
+    if m < 2:
+        raise ParameterError(f"base m must be >= 2, got {m}")
+    return m
+
+
+def validate_h(h: int, *, minimum: int = 1) -> int:
+    """Validate a digit count.  The paper's theorems assume ``h >= 3``;
+    callers that state theorems pass ``minimum=3``."""
+    h = int(h)
+    if h < minimum:
+        raise ParameterError(f"digit count h must be >= {minimum}, got {h}")
+    return h
+
+
+def to_digits(x: int | np.ndarray, m: int, h: int) -> np.ndarray:
+    """Big-endian digits ``[x_{h-1}, ..., x_0]`` of ``x`` in base ``m``.
+
+    Accepts a scalar (returns shape ``(h,)``) or an array of node ids
+    (returns shape ``(len(x), h)``).
+
+    >>> to_digits(6, 2, 4).tolist()
+    [0, 1, 1, 0]
+    """
+    m = validate_base(m)
+    h = validate_h(h)
+    xs = np.asarray(x, dtype=np.int64)
+    if xs.size and (xs.min() < 0 or xs.max() >= m ** h):
+        raise ParameterError(f"value out of range [0, {m**h}) for {h} base-{m} digits")
+    out_shape = xs.shape + (h,)
+    rem = xs.reshape(-1).copy()
+    digits = np.empty((rem.size, h), dtype=np.int64)
+    for pos in range(h - 1, -1, -1):  # little-endian extraction
+        digits[:, pos] = rem % m
+        rem //= m
+    digits = digits.reshape(out_shape)
+    return digits if isinstance(x, np.ndarray) else digits.reshape(h)
+
+
+def from_digits(digits: Sequence[int] | np.ndarray, m: int) -> int | np.ndarray:
+    """Inverse of :func:`to_digits`: big-endian digits to integer(s)."""
+    m = validate_base(m)
+    d = np.asarray(digits, dtype=np.int64)
+    if d.size and (d.min() < 0 or d.max() >= m):
+        raise ParameterError(f"digit out of range [0, {m})")
+    h = d.shape[-1]
+    weights = m ** np.arange(h - 1, -1, -1, dtype=np.int64)
+    val = (d * weights).sum(axis=-1)
+    return val if d.ndim > 1 else int(val)
+
+
+def format_label(x: int, m: int, h: int) -> str:
+    """Render ``x`` the way the paper prints labels: ``[x_{h-1},...,x_0]_m``.
+
+    >>> format_label(6, 2, 4)
+    '[0,1,1,0]_2'
+    """
+    return "[" + ",".join(str(d) for d in to_digits(x, m, h)) + f"]_{m}"
+
+
+def rank(x: int, s: Sequence[int] | np.ndarray) -> int:
+    """``Rank(x, S)``: the number of elements of ``S`` smaller than ``x``
+    (paper Section II).  ``x`` must be a member of ``S``.
+
+    >>> rank(5, [1, 3, 5, 9])
+    2
+    """
+    arr = np.unique(np.asarray(s, dtype=np.int64))
+    i = int(np.searchsorted(arr, x))
+    if i >= arr.size or arr[i] != x:
+        raise ParameterError(f"rank: {x} is not a member of S")
+    return i
+
+
+def rank_array(xs: np.ndarray, s: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`rank` for arrays of members."""
+    arr = np.unique(np.asarray(s, dtype=np.int64))
+    xs = np.asarray(xs, dtype=np.int64)
+    pos = np.searchsorted(arr, xs)
+    ok = (pos < arr.size) & (arr[np.minimum(pos, arr.size - 1)] == xs)
+    if not ok.all():
+        bad = xs[~ok][0]
+        raise ParameterError(f"rank_array: {int(bad)} is not a member of S")
+    return pos.astype(np.int64)
+
+
+def rotate_left(x: int | np.ndarray, m: int, h: int, steps: int = 1) -> int | np.ndarray:
+    """Cyclic left shift of the ``h``-digit base-``m`` string of ``x``.
+
+    One left step moves digit position ``i`` to position ``(i+1) mod h``
+    (the *perfect shuffle* on labels).  Vectorized over arrays.
+
+    >>> rotate_left(0b0011, 2, 4)
+    6
+    """
+    m = validate_base(m)
+    h = validate_h(h)
+    steps = int(steps) % h
+    n = m ** h
+    xs = np.asarray(x, dtype=np.int64)
+    if xs.size and (xs.min() < 0 or xs.max() >= n):
+        raise ParameterError(f"value out of range [0, {n})")
+    hi = m ** (h - steps)
+    top, rest = xs // hi, xs % hi
+    out = rest * (m ** steps) + top
+    return out if isinstance(x, np.ndarray) else int(out)
+
+
+def rotate_right(x: int | np.ndarray, m: int, h: int, steps: int = 1) -> int | np.ndarray:
+    """Cyclic right shift (the *unshuffle*); inverse of :func:`rotate_left`."""
+    return rotate_left(x, m, h, h - (int(steps) % h))
+
+
+def exchange(x: int | np.ndarray, m: int = 2) -> int | np.ndarray:
+    """The exchange operation on the lowest digit.
+
+    For base 2 this is ``x XOR 1`` (the shuffle-exchange *exchange* edge).
+    For general ``m`` it cycles the low digit ``d -> (d+1) mod m`` — only
+    the base-2 case appears in the paper, but the generalization keeps the
+    API uniform.
+    """
+    m = validate_base(m)
+    xs = np.asarray(x, dtype=np.int64)
+    low = xs % m
+    out = xs - low + (low + 1) % m
+    return out if isinstance(x, np.ndarray) else int(out)
+
+
+def weight(x: int | np.ndarray, m: int, h: int) -> int | np.ndarray:
+    """Digit-sum (Hamming weight when ``m = 2``) of the label of ``x``.
+
+    The parity of ``weight`` drives the shuffle-exchange -> de Bruijn
+    embedding (see :mod:`repro.core.shuffle_exchange`).
+    """
+    d = to_digits(np.asarray(x, dtype=np.int64), m, h)
+    out = d.sum(axis=-1)
+    return out if isinstance(x, np.ndarray) else int(out)
+
+
+def necklace_of(x: int, m: int, h: int) -> tuple[int, ...]:
+    """The rotation orbit (necklace) of ``x``, as a sorted tuple of ids.
+
+    >>> necklace_of(1, 2, 3)
+    (1, 2, 4)
+    """
+    orbit = {int(x)}
+    cur = x
+    for _ in range(h - 1):
+        cur = rotate_left(cur, m, h)
+        orbit.add(int(cur))
+    return tuple(sorted(orbit))
+
+
+def necklaces(m: int, h: int) -> list[tuple[int, ...]]:
+    """All necklaces of ``h``-digit base-``m`` strings, sorted by minimum
+    representative.  Rotation preserves weight, so each necklace has a
+    well-defined weight class — the fact behind the ψ embedding."""
+    n = m ** validate_h(h)
+    seen = np.zeros(n, dtype=bool)
+    out: list[tuple[int, ...]] = []
+    for x in range(n):
+        if seen[x]:
+            continue
+        neck = necklace_of(x, m, h)
+        for y in neck:
+            seen[y] = True
+        out.append(neck)
+    return out

@@ -1,0 +1,167 @@
+"""The reconfiguration algorithm (paper §III.A) and its incremental form.
+
+Given a fault-tolerant graph on ``N + k`` nodes and a set of faulty nodes,
+the paper's reconfiguration maps target node ``x`` to the ``(x+1)``-st
+non-faulty node — the unique monotonically increasing bijection ``φ`` from
+``{0..N-1}`` onto the surviving node set.  Writing ``δ_x = φ(x) - x``,
+Lemma 1 gives ``a < b  ⇒  δ_a <= δ_b`` and ``0 <= δ_x <= k``; those two
+facts are all Theorems 1 and 2 need.
+
+:class:`Reconfigurator` maintains ``φ`` under *incremental* fault arrival
+and repair in O(1) amortized bookkeeping plus O(N) refresh, and exposes the
+vectorized map for bulk relabeling.  If fewer than ``k`` nodes are faulty
+the remaining spares are simply never used (the theorem holds for any
+survivor set of size >= N; we take the first N survivors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FaultSetError
+from repro.graphs.static_graph import StaticGraph
+
+__all__ = ["rank_remap", "Reconfigurator"]
+
+
+def rank_remap(total_nodes: int, faults: np.ndarray | list[int], target_size: int) -> np.ndarray:
+    """The paper's map ``φ`` as an array: ``phi[x]`` = the ``(x+1)``-st
+    non-faulty node of ``{0..total_nodes-1}``, for ``x < target_size``.
+
+    Raises :class:`FaultSetError` when fewer than ``target_size`` nodes
+    survive.
+
+    >>> rank_remap(6, [2], 5).tolist()
+    [0, 1, 3, 4, 5]
+    """
+    faults = np.unique(np.asarray(faults, dtype=np.int64))
+    if faults.size and (faults[0] < 0 or faults[-1] >= total_nodes):
+        raise FaultSetError("fault id out of range")
+    alive = np.ones(total_nodes, dtype=bool)
+    alive[faults] = False
+    survivors = np.flatnonzero(alive)
+    if survivors.size < target_size:
+        raise FaultSetError(
+            f"only {survivors.size} survivors < target size {target_size}"
+        )
+    return survivors[:target_size].astype(np.int64)
+
+
+class Reconfigurator:
+    """Maintains the survivor mapping of a fault-tolerant machine.
+
+    Parameters
+    ----------
+    total_nodes:
+        ``N + k`` — node count of the fault-tolerant graph.
+    target_size:
+        ``N`` — node count of the target graph being sustained.
+
+    The object tracks the live fault set; :meth:`phi` returns the current
+    monotone remap, :meth:`delta` the offset vector ``δ``, and
+    :meth:`embed_target` relabels a target graph onto the survivors to
+    produce the physical edge set in use after reconfiguration (the solid
+    edges of the paper's Fig. 3).
+    """
+
+    def __init__(self, total_nodes: int, target_size: int):
+        if target_size < 0 or total_nodes < target_size:
+            raise FaultSetError(
+                f"need total_nodes >= target_size >= 0, got {total_nodes}, {target_size}"
+            )
+        self._total = int(total_nodes)
+        self._target = int(target_size)
+        self._faults: set[int] = set()
+        self._phi_cache: np.ndarray | None = None
+
+    # -- fault management ----------------------------------------------------
+
+    @property
+    def spare_budget(self) -> int:
+        """Maximum faults sustainable: ``total_nodes - target_size``."""
+        return self._total - self._target
+
+    @property
+    def faults(self) -> tuple[int, ...]:
+        """Sorted tuple of currently-faulty node ids."""
+        return tuple(sorted(self._faults))
+
+    def fail_node(self, v: int) -> None:
+        """Mark ``v`` faulty.  Raises when the spare budget is exhausted or
+        ``v`` is already faulty/out of range."""
+        v = int(v)
+        if not 0 <= v < self._total:
+            raise FaultSetError(f"node {v} out of range [0, {self._total})")
+        if v in self._faults:
+            raise FaultSetError(f"node {v} is already faulty")
+        if len(self._faults) >= self.spare_budget:
+            raise FaultSetError(
+                f"fault budget exhausted ({self.spare_budget} spares)"
+            )
+        self._faults.add(v)
+        self._phi_cache = None
+
+    def repair_node(self, v: int) -> None:
+        """Return ``v`` to service."""
+        v = int(v)
+        if v not in self._faults:
+            raise FaultSetError(f"node {v} is not faulty")
+        self._faults.remove(v)
+        self._phi_cache = None
+
+    def set_faults(self, faults) -> None:
+        """Replace the whole fault set at once."""
+        fs = {int(v) for v in faults}
+        for v in fs:
+            if not 0 <= v < self._total:
+                raise FaultSetError(f"node {v} out of range [0, {self._total})")
+        if len(fs) > self.spare_budget:
+            raise FaultSetError(
+                f"{len(fs)} faults exceed spare budget {self.spare_budget}"
+            )
+        self._faults = fs
+        self._phi_cache = None
+
+    # -- the map --------------------------------------------------------------
+
+    def phi(self) -> np.ndarray:
+        """Current monotone remap: ``phi()[x]`` is the physical node hosting
+        logical node ``x`` (length ``target_size``)."""
+        if self._phi_cache is None:
+            self._phi_cache = rank_remap(
+                self._total, sorted(self._faults), self._target
+            )
+        return self._phi_cache
+
+    def delta(self) -> np.ndarray:
+        """Offset vector ``δ_x = φ(x) - x``; Lemma 1 guarantees it is
+        non-decreasing with values in ``[0, k]`` (property-tested)."""
+        return self.phi() - np.arange(self._target, dtype=np.int64)
+
+    def inverse_phi(self) -> np.ndarray:
+        """Physical-to-logical inverse map of length ``total_nodes``;
+        ``-1`` for physical nodes not hosting any logical node (faulty or
+        unused spares)."""
+        inv = np.full(self._total, -1, dtype=np.int64)
+        p = self.phi()
+        inv[p] = np.arange(self._target, dtype=np.int64)
+        return inv
+
+    def logical_of(self, physical: int) -> int | None:
+        """Logical node hosted on ``physical``, or ``None``."""
+        v = self.inverse_phi()[int(physical)]
+        return None if v < 0 else int(v)
+
+    # -- embedding -------------------------------------------------------------
+
+    def embed_target(self, target: StaticGraph) -> StaticGraph:
+        """Physical edge set used after reconfiguration: target edges pushed
+        through ``φ``, returned as a graph on the full ``total_nodes`` node
+        set (non-hosting nodes are isolated)."""
+        if target.node_count != self._target:
+            raise FaultSetError(
+                f"target has {target.node_count} nodes, expected {self._target}"
+            )
+        p = self.phi()
+        e = target.edges()
+        return StaticGraph(self._total, p[e] if e.shape[0] else ())

@@ -1,0 +1,118 @@
+"""The affine edge generator ``X`` and the wrap-count arithmetic.
+
+Everything in the paper reduces to the single function (Section II):
+
+    X(x, m, r, s) = (m*x + r) mod s
+
+The target graph ``B_{m,h}`` uses ``r in {0..m-1}`` with modulus ``m^h``;
+the fault-tolerant graph ``B^k_{m,h}`` widens the window to
+``r in {(m-1)(-k) .. (m-1)(k+1)}`` with modulus ``m^h + k``.  Lemmas 2 and 3
+of the paper are statements about the *wrap count* ``t`` defined by
+``y = m*x + r - t*s``; they are re-proved here executable (and
+property-tested with hypothesis in the suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "x_func",
+    "x_func_array",
+    "target_window",
+    "ft_window",
+    "wrap_count",
+    "successor_block",
+    "predecessor_solutions",
+]
+
+
+def x_func(x: int, m: int, r: int, s: int) -> int:
+    """``X(x, m, r, s) = (m*x + r) mod s`` — scalar form.
+
+    >>> x_func(5, 2, 1, 16)
+    11
+    """
+    if s <= 0:
+        raise ParameterError(f"modulus s must be positive, got {s}")
+    return (m * int(x) + int(r)) % s
+
+
+def x_func_array(xs: np.ndarray, m: int, rs: np.ndarray | int, s: int) -> np.ndarray:
+    """Vectorized ``X`` with broadcasting between node and offset arrays."""
+    if s <= 0:
+        raise ParameterError(f"modulus s must be positive, got {s}")
+    xs = np.asarray(xs, dtype=np.int64)
+    rs = np.asarray(rs, dtype=np.int64)
+    return (m * xs + rs) % s
+
+
+def target_window(m: int) -> np.ndarray:
+    """Offset window for the target graph ``B_{m,h}``: ``{0, ..., m-1}``."""
+    if m < 2:
+        raise ParameterError(f"base m must be >= 2, got {m}")
+    return np.arange(m, dtype=np.int64)
+
+
+def ft_window(m: int, k: int) -> np.ndarray:
+    """Offset window ``S`` for the fault-tolerant graph ``B^k_{m,h}``:
+    ``{(m-1)(-k), (m-1)(-k)+1, ..., (m-1)(k+1)}`` (paper Sections III/IV).
+
+    Size ``(m-1)(2k+1) + 1``; reduces to the target window when ``k = 0``.
+
+    >>> ft_window(2, 1).tolist()
+    [-1, 0, 1, 2]
+    """
+    if m < 2:
+        raise ParameterError(f"base m must be >= 2, got {m}")
+    if k < 0:
+        raise ParameterError(f"fault budget k must be >= 0, got {k}")
+    return np.arange((m - 1) * (-k), (m - 1) * (k + 1) + 1, dtype=np.int64)
+
+
+def wrap_count(x: int, y: int, m: int, r: int, s: int) -> int:
+    """The integer ``t`` with ``y = m*x + r - t*s`` (requires ``y == X(x,m,r,s)``).
+
+    Lemma 2 (base 2) states ``t = 0`` iff ``x < y`` and ``t = 1`` iff
+    ``x > y``; Lemma 3 (base m) states ``x < y`` implies
+    ``t in {0..m-2}`` and ``x > y`` implies ``t in {1..m-1}``.
+    """
+    val = m * int(x) + int(r)
+    if (val - int(y)) % s != 0:
+        raise ParameterError("wrap_count: y != X(x, m, r, s)")
+    return (val - int(y)) // s
+
+
+def successor_block(x: int, m: int, k: int, s: int) -> np.ndarray:
+    """The *successor block* of node ``x`` in ``B^k_{m,h}``: all values
+    ``X(x, m, r, s)`` for ``r`` in the FT window, deduplicated, self
+    excluded.  For ``m = 2`` this is the block of ``2k + 2`` consecutive
+    nodes starting at ``(2x - k) mod s`` that Section V's buses connect.
+    """
+    ys = x_func_array(np.int64(x), m, ft_window(m, k), s)
+    ys = np.unique(ys)
+    return ys[ys != x % s]
+
+
+def predecessor_solutions(y: int, m: int, k: int, s: int) -> np.ndarray:
+    """All nodes ``x`` with ``y = X(x, m, r, s)`` for some FT-window ``r``.
+
+    Solves ``m*x ≡ y - r (mod s)`` for each ``r``; when ``gcd(m, s) = g``
+    divides ``y - r`` there are ``g`` solutions, else none.  Together with
+    :func:`successor_block` this gives the exact degree accounting behind
+    Corollaries 1 and 3.
+    """
+    g = int(np.gcd(m, s))
+    m_, s_ = m // g, s // g
+    inv = pow(m_, -1, s_)
+    xs: list[int] = []
+    for r in ft_window(m, k):
+        c = (int(y) - int(r)) % s
+        if c % g:
+            continue
+        x0 = ((c // g) * inv) % s_
+        xs.extend((x0 + j * s_) % s for j in range(g))
+    out = np.unique(np.array(xs, dtype=np.int64)) if xs else np.empty(0, dtype=np.int64)
+    return out[out != y % s]

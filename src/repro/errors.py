@@ -1,0 +1,70 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type.  Specific subclasses carry enough context to
+diagnose construction and reconfiguration failures programmatically.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A construction parameter is outside its valid range.
+
+    The paper requires ``h >= 3``, ``m >= 2`` and ``k >= 0``; graph kernels
+    additionally require non-negative node counts and in-range endpoints.
+    """
+
+
+class GraphFormatError(ReproError, ValueError):
+    """An edge list or adjacency structure is malformed (bad shape,
+    out-of-range endpoint, or unexpected dtype)."""
+
+
+class EmbeddingError(ReproError):
+    """An embedding certificate failed verification.
+
+    Attributes
+    ----------
+    missing_edge:
+        The first target-graph edge whose image is not present in the host,
+        as a ``(u, v, phi_u, phi_v)`` tuple, or ``None`` when the failure was
+        not edge-related (e.g. a non-injective node map).
+    """
+
+    def __init__(self, message: str, missing_edge: tuple | None = None):
+        super().__init__(message)
+        self.missing_edge = missing_edge
+
+
+class FaultSetError(ReproError, ValueError):
+    """A fault set is invalid: too many faults, duplicate node ids, or
+    node ids outside the fault-tolerant graph."""
+
+
+class ToleranceViolation(ReproError):
+    """A (k, G)-tolerance check found a counterexample fault set.
+
+    Attributes
+    ----------
+    fault_set:
+        Tuple of faulty node ids that defeated the construction.
+    """
+
+    def __init__(self, message: str, fault_set: tuple = ()):  # noqa: D401
+        super().__init__(message)
+        self.fault_set = tuple(fault_set)
+
+
+class RoutingError(ReproError):
+    """No route could be produced (disconnected survivor graph or an
+    endpoint is faulty)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state (undeliverable packet,
+    event scheduled in the past, or a protocol violation)."""

@@ -1,0 +1,172 @@
+"""Classic interconnection-network generators.
+
+These are the topologies the paper's introduction positions de Bruijn and
+shuffle-exchange networks against: the hypercube (degree grows with size)
+and the constant-degree alternatives (cube-connected cycles [11],
+butterfly, Kautz).  They serve as comparison substrates in the analysis
+layer and as extra targets for the tolerance checker.
+
+All builders return :class:`~repro.graphs.static_graph.StaticGraph`
+instances with the standard integer labelings described in each docstring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.static_graph import StaticGraph
+
+__all__ = [
+    "hypercube",
+    "cycle",
+    "path",
+    "complete",
+    "grid2d",
+    "cube_connected_cycles",
+    "butterfly",
+    "kautz",
+    "star",
+]
+
+
+def hypercube(dim: int) -> StaticGraph:
+    """The ``dim``-dimensional Boolean hypercube ``Q_dim``.
+
+    Nodes are ``0..2^dim - 1``; ``u ~ v`` iff they differ in exactly one bit.
+    Degree ``dim`` (this growth is the paper's motivation for constant-degree
+    networks).
+    """
+    if dim < 0:
+        raise ParameterError(f"hypercube dimension must be >= 0, got {dim}")
+    n = 1 << dim
+    nodes = np.arange(n, dtype=np.int64)
+    edges = [
+        np.column_stack([nodes, nodes ^ (1 << b)]) for b in range(dim)
+    ]
+    return StaticGraph(n, np.vstack(edges) if edges else ())
+
+
+def cycle(n: int) -> StaticGraph:
+    """The ``n``-cycle ``C_n`` (``n >= 3``)."""
+    if n < 3:
+        raise ParameterError(f"cycle needs n >= 3, got {n}")
+    nodes = np.arange(n, dtype=np.int64)
+    return StaticGraph(n, np.column_stack([nodes, (nodes + 1) % n]))
+
+
+def path(n: int) -> StaticGraph:
+    """The ``n``-node path ``P_n``."""
+    if n < 1:
+        raise ParameterError(f"path needs n >= 1, got {n}")
+    nodes = np.arange(n - 1, dtype=np.int64)
+    return StaticGraph(n, np.column_stack([nodes, nodes + 1]))
+
+
+def complete(n: int) -> StaticGraph:
+    """The complete graph ``K_n``."""
+    if n < 1:
+        raise ParameterError(f"complete needs n >= 1, got {n}")
+    iu = np.triu_indices(n, k=1)
+    return StaticGraph(n, np.column_stack(iu).astype(np.int64))
+
+
+def star(n: int) -> StaticGraph:
+    """The star ``K_{1,n-1}`` with hub node ``0``."""
+    if n < 2:
+        raise ParameterError(f"star needs n >= 2, got {n}")
+    leaves = np.arange(1, n, dtype=np.int64)
+    return StaticGraph(n, np.column_stack([np.zeros_like(leaves), leaves]))
+
+
+def grid2d(rows: int, cols: int) -> StaticGraph:
+    """``rows x cols`` mesh; node ``(r, c)`` is labeled ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise ParameterError("grid2d needs rows, cols >= 1")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horiz = np.column_stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()])
+    vert = np.column_stack([ids[:-1, :].ravel(), ids[1:, :].ravel()])
+    return StaticGraph(rows * cols, np.vstack([horiz, vert]))
+
+
+def cube_connected_cycles(dim: int) -> StaticGraph:
+    """The cube-connected cycles network ``CCC_dim`` (Preparata–Vuillemin).
+
+    Node ``(w, i)`` for ``w in 0..2^dim - 1``, ``i in 0..dim-1`` is labeled
+    ``w * dim + i``.  Edges: cycle edges ``(w, i) ~ (w, (i+1) mod dim)`` and
+    hypercube edges ``(w, i) ~ (w ^ 2^i, i)``.  Degree 3 for ``dim >= 3``.
+    """
+    if dim < 1:
+        raise ParameterError(f"CCC needs dim >= 1, got {dim}")
+    n_words = 1 << dim
+    w = np.repeat(np.arange(n_words, dtype=np.int64), dim)
+    i = np.tile(np.arange(dim, dtype=np.int64), n_words)
+    label = w * dim + i
+    ring = np.column_stack([label, w * dim + (i + 1) % dim])
+    cube = np.column_stack([label, (w ^ (1 << i)) * dim + i])
+    return StaticGraph(n_words * dim, np.vstack([ring, cube]))
+
+
+def butterfly(dim: int, wrap: bool = True) -> StaticGraph:
+    """The ``dim``-dimensional butterfly.
+
+    Levels ``l in 0..dim-1`` (wrapped) or ``0..dim`` (unwrapped), rows
+    ``w in 0..2^dim - 1``; node ``(l, w)`` is labeled ``l * 2^dim + w``.
+    Straight edges connect ``(l, w)`` to ``(l+1, w)``; cross edges connect
+    ``(l, w)`` to ``(l+1, w ^ 2^l)``.  With ``wrap=True`` level arithmetic is
+    mod ``dim`` (the wrapped butterfly, degree 4).
+    """
+    if dim < 1:
+        raise ParameterError(f"butterfly needs dim >= 1, got {dim}")
+    n_rows = 1 << dim
+    levels = dim if wrap else dim + 1
+    edges = []
+    for lvl in range(dim):
+        nxt = (lvl + 1) % levels if wrap else lvl + 1
+        w = np.arange(n_rows, dtype=np.int64)
+        cur = lvl * n_rows + w
+        edges.append(np.column_stack([cur, nxt * n_rows + w]))
+        edges.append(np.column_stack([cur, nxt * n_rows + (w ^ (1 << lvl))]))
+    return StaticGraph(levels * n_rows, np.vstack(edges))
+
+
+def kautz(m: int, h: int) -> StaticGraph:
+    """The Kautz graph ``K(m, h)``: strings of length ``h`` over an
+    ``(m+1)``-letter alphabet with no two consecutive equal letters.
+
+    ``(m+1) * m^(h-1)`` nodes, out-degree ``m``; the densest-known family
+    meeting the degree/diameter trade-off the de Bruijn family approximates
+    (mentioned alongside de Bruijn networks in [1]).  Nodes are labeled by
+    the rank of their string in lexicographic order.
+    """
+    if m < 2 or h < 1:
+        raise ParameterError("kautz needs m >= 2, h >= 1")
+    # Enumerate all valid strings via mixed-radix expansion: first letter in
+    # 0..m, each later letter in 0..m-1 encoding an offset from its
+    # predecessor (skip-the-same trick) -- gives a bijection with ranks.
+    n = (m + 1) * m ** (h - 1)
+    codes = np.arange(n, dtype=np.int64)
+    letters = np.empty((n, h), dtype=np.int64)
+    rem = codes.copy()
+    for pos in range(h - 1, 0, -1):
+        letters[:, pos] = rem % m
+        rem //= m
+    letters[:, 0] = rem
+    # Decode offsets into actual letters.
+    strings = np.empty_like(letters)
+    strings[:, 0] = letters[:, 0]
+    for pos in range(1, h):
+        off = letters[:, pos]
+        prev = strings[:, pos - 1]
+        cand = off + (off >= prev)  # skip value equal to prev
+        strings[:, pos] = cand
+    # Build a lookup from string tuple -> id.
+    key_of = {tuple(row): i for i, row in enumerate(strings)}
+    edges = []
+    for i, row in enumerate(strings):
+        for c in range(m + 1):
+            if c == row[-1]:
+                continue
+            succ = tuple(np.append(row[1:], c))
+            edges.append((i, key_of[succ]))
+    return StaticGraph(n, edges)

@@ -1,0 +1,209 @@
+"""Bus hypergraph kernel for the paper's Section V architectures.
+
+A bus architecture is modeled as a hypergraph: nodes are processors and
+each *bus* is a hyperedge containing every processor attached to that bus.
+The paper's constructions attach an *owner* to each bus (bus ``i`` connects
+node ``i`` to a block of consecutive nodes), so :class:`BusHypergraph`
+stores an optional owner per bus and supports the paper's bus-fault rule:
+*"if the bus owned by node i is faulty, treat node i as faulty"*.
+
+Storage is incidence-CSR both ways (bus -> members, node -> buses), numpy
+backed and immutable, mirroring :class:`StaticGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GraphFormatError, ParameterError
+from repro.graphs.static_graph import StaticGraph
+
+__all__ = ["BusHypergraph"]
+
+
+class BusHypergraph:
+    """Immutable node/bus incidence structure.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of processors.
+    buses:
+        Iterable of member-id collections, one per bus.  Duplicate members
+        within one bus are merged.
+    owners:
+        Optional sequence assigning an owner node to each bus (same length
+        as ``buses``).  Owners must be members of their bus.
+    """
+
+    __slots__ = ("_n", "_nbus", "_bus_ptr", "_bus_members", "_node_ptr",
+                 "_node_buses", "_owners")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        buses: Iterable[Sequence[int]],
+        owners: Sequence[int] | None = None,
+    ):
+        n = int(num_nodes)
+        if n < 0:
+            raise ParameterError(f"num_nodes must be >= 0, got {num_nodes}")
+        member_lists = [np.unique(np.asarray(list(b), dtype=np.int64)) for b in buses]
+        for mem in member_lists:
+            if mem.size and (mem[0] < 0 or mem[-1] >= n):
+                raise GraphFormatError("bus member out of node range")
+        self._n = n
+        self._nbus = len(member_lists)
+        lengths = np.array([m.size for m in member_lists], dtype=np.int64)
+        self._bus_ptr = np.concatenate([[0], np.cumsum(lengths)])
+        self._bus_members = (
+            np.concatenate(member_lists) if member_lists else np.empty(0, dtype=np.int64)
+        )
+        if owners is not None:
+            own = np.asarray(list(owners), dtype=np.int64)
+            if own.shape != (self._nbus,):
+                raise GraphFormatError("owners length must equal bus count")
+            for b, o in enumerate(own):
+                if o < 0 or o >= n:
+                    raise GraphFormatError(f"owner {o} of bus {b} out of range")
+                mem = member_lists[b]
+                if mem.size == 0 or mem[np.searchsorted(mem, o) % max(mem.size, 1)] != o:
+                    raise GraphFormatError(
+                        f"owner {int(o)} of bus {b} is not a member of the bus"
+                    )
+            self._owners: np.ndarray | None = own
+        else:
+            self._owners = None
+        # node -> buses reverse incidence
+        bus_of_entry = np.repeat(np.arange(self._nbus, dtype=np.int64), lengths)
+        order = np.argsort(self._bus_members, kind="stable")
+        sorted_nodes = self._bus_members[order]
+        sorted_buses = bus_of_entry[order]
+        counts = np.bincount(sorted_nodes, minlength=n) if sorted_nodes.size else np.zeros(n, dtype=np.int64)
+        self._node_ptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        self._node_buses = sorted_buses
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of processors."""
+        return self._n
+
+    @property
+    def bus_count(self) -> int:
+        """Number of buses (hyperedges)."""
+        return self._nbus
+
+    @property
+    def owners(self) -> np.ndarray | None:
+        """Owner node per bus, or ``None`` when ownerless."""
+        if self._owners is None:
+            return None
+        v = self._owners.view()
+        v.flags.writeable = False
+        return v
+
+    def bus_members(self, b: int) -> np.ndarray:
+        """Sorted member node ids of bus ``b``."""
+        if not 0 <= b < self._nbus:
+            raise GraphFormatError(f"bus id {b} out of range [0, {self._nbus})")
+        out = self._bus_members[self._bus_ptr[b]: self._bus_ptr[b + 1]].view()
+        out.flags.writeable = False
+        return out
+
+    def buses_of(self, v: int) -> np.ndarray:
+        """Sorted bus ids touching node ``v`` (its *bus-degree* list).
+
+        The paper's Section V degree claims (``2k + 3`` for the FT base-2
+        graph) are claims about ``len(buses_of(v))``.
+        """
+        if not 0 <= v < self._n:
+            raise GraphFormatError(f"node id {v} out of range [0, {self._n})")
+        out = self._node_buses[self._node_ptr[v]: self._node_ptr[v + 1]].view()
+        out.flags.writeable = False
+        return out
+
+    def bus_degree(self, v: int) -> int:
+        """Number of buses node ``v`` is attached to."""
+        if not 0 <= v < self._n:
+            raise GraphFormatError(f"node id {v} out of range [0, {self._n})")
+        return int(self._node_ptr[v + 1] - self._node_ptr[v])
+
+    def bus_degrees(self) -> np.ndarray:
+        """Vector of bus-degrees for all nodes."""
+        return np.diff(self._node_ptr)
+
+    def max_bus_degree(self) -> int:
+        """Maximum bus-degree over all nodes."""
+        if self._n == 0:
+            return 0
+        return int(self.bus_degrees().max(initial=0))
+
+    def bus_size(self, b: int) -> int:
+        """Number of members on bus ``b``."""
+        if not 0 <= b < self._nbus:
+            raise GraphFormatError(f"bus id {b} out of range [0, {self._nbus})")
+        return int(self._bus_ptr[b + 1] - self._bus_ptr[b])
+
+    # -- semantics ----------------------------------------------------------
+
+    def connectivity_graph(self) -> StaticGraph:
+        """Collapse every bus to a clique: the point-to-point graph whose
+        edges are exactly the node pairs able to communicate in one bus
+        transaction.  Used to prove a bus design retains the connectivity of
+        the graph it implements."""
+        edges = []
+        for b in range(self._nbus):
+            mem = self.bus_members(b)
+            if mem.size >= 2:
+                iu, iv = np.triu_indices(mem.size, k=1)
+                edges.append(np.column_stack([mem[iu], mem[iv]]))
+        if edges:
+            return StaticGraph(self._n, np.vstack(edges))
+        return StaticGraph(self._n, ())
+
+    def owner_star_graph(self) -> StaticGraph:
+        """Edges from each bus owner to every other member of its bus.
+
+        The paper uses buses in this *restricted* way — node ``i`` always
+        communicates over its own bus — so this star collapse (rather than
+        the full clique) captures the usable links.
+        """
+        if self._owners is None:
+            raise GraphFormatError("owner_star_graph requires owners")
+        edges = []
+        for b in range(self._nbus):
+            mem = self.bus_members(b)
+            o = int(self._owners[b])
+            others = mem[mem != o]
+            if others.size:
+                edges.append(np.column_stack([np.full(others.size, o), others]))
+        if edges:
+            return StaticGraph(self._n, np.vstack(edges))
+        return StaticGraph(self._n, ())
+
+    def nodes_faulted_by_bus_faults(self, faulty_buses: Sequence[int]) -> np.ndarray:
+        """Apply the paper's bus-fault rule: a faulty bus makes its *owner*
+        faulty.  Returns the sorted array of owner nodes so induced.
+
+        Raises when the hypergraph has no owners (the rule is only sound for
+        owner-restricted bus usage; see Section V's closing remark on
+        general p-node buses).
+        """
+        if self._owners is None:
+            raise GraphFormatError(
+                "bus-fault tolerance requires owner-restricted buses"
+            )
+        fb = np.unique(np.asarray(list(faulty_buses), dtype=np.int64))
+        if fb.size and (fb[0] < 0 or fb[-1] >= self._nbus):
+            raise GraphFormatError("faulty bus id out of range")
+        return np.unique(self._owners[fb]) if fb.size else np.empty(0, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BusHypergraph(nodes={self._n}, buses={self._nbus}, "
+            f"max_bus_degree={self.max_bus_degree()})"
+        )

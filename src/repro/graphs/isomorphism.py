@@ -1,0 +1,184 @@
+"""Subgraph-embedding verification and search.
+
+Two capabilities:
+
+* :func:`verify_embedding` — O(V + E) certificate check: given an explicit
+  node map, confirm it is injective and maps every pattern edge onto a host
+  edge.  This is the fast path used everywhere the paper's constructive
+  reconfiguration map φ is available.
+* :func:`find_embedding` — backtracking subgraph-monomorphism search with
+  degree and forward-neighborhood pruning.  It proves *existence* without a
+  constructive map (used to cross-check that φ is not special, and for the
+  shuffle-exchange embedding experiments at small h).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+from repro.graphs.static_graph import StaticGraph
+
+__all__ = ["verify_embedding", "find_embedding", "is_subgraph_embeddable"]
+
+
+def verify_embedding(
+    pattern: StaticGraph,
+    host: StaticGraph,
+    node_map: Sequence[int] | np.ndarray,
+    *,
+    raise_on_fail: bool = True,
+) -> bool:
+    """Check that ``node_map`` embeds ``pattern`` into ``host``.
+
+    ``node_map[v]`` is the host node carrying pattern node ``v``.  The map
+    must be injective and every pattern edge ``(u, v)`` must satisfy
+    ``(node_map[u], node_map[v]) in E(host)``.
+
+    Returns ``True`` on success; on failure raises :class:`EmbeddingError`
+    (default) or returns ``False`` when ``raise_on_fail=False``.
+    """
+    phi = np.asarray(node_map, dtype=np.int64)
+    if phi.shape != (pattern.node_count,):
+        if raise_on_fail:
+            raise EmbeddingError(
+                f"node map has length {phi.shape}, expected ({pattern.node_count},)"
+            )
+        return False
+    if phi.size and (phi.min() < 0 or phi.max() >= host.node_count):
+        if raise_on_fail:
+            raise EmbeddingError("node map image out of host range")
+        return False
+    if np.unique(phi).size != phi.size:
+        if raise_on_fail:
+            raise EmbeddingError("node map is not injective")
+        return False
+    e = pattern.edges()
+    if e.shape[0] == 0:
+        return True
+    ok = host.has_edges(phi[e[:, 0]], phi[e[:, 1]])
+    if ok.all():
+        return True
+    if raise_on_fail:
+        bad = e[~ok][0]
+        raise EmbeddingError(
+            "embedding misses host edge for pattern edge "
+            f"({int(bad[0])}, {int(bad[1])}) -> "
+            f"({int(phi[bad[0]])}, {int(phi[bad[1]])})",
+            missing_edge=(int(bad[0]), int(bad[1]), int(phi[bad[0]]), int(phi[bad[1]])),
+        )
+    return False
+
+
+def _order_pattern_nodes(pattern: StaticGraph) -> list[int]:
+    """Connectivity-first search order: start at a max-degree node, then
+    repeatedly pick the unplaced node with most placed neighbors (ties by
+    degree).  Keeps the partial map connected so pruning bites early."""
+    n = pattern.node_count
+    if n == 0:
+        return []
+    degs = pattern.degrees()
+    placed: list[int] = []
+    in_order = np.zeros(n, dtype=bool)
+    placed_nbrs = np.zeros(n, dtype=np.int64)
+    first = int(np.argmax(degs))
+    stack = [first]
+    while len(placed) < n:
+        if not stack:
+            # next component
+            rest = np.flatnonzero(~in_order)
+            stack = [int(rest[np.argmax(degs[rest])])]
+        # pick best candidate among unplaced
+        cand = np.flatnonzero(~in_order)
+        score = placed_nbrs[cand] * (n + 1) + degs[cand]
+        v = int(cand[np.argmax(score)])
+        placed.append(v)
+        in_order[v] = True
+        for w in pattern.neighbors(v):
+            placed_nbrs[w] += 1
+        stack = [v]
+    return placed
+
+
+def find_embedding(
+    pattern: StaticGraph,
+    host: StaticGraph,
+    *,
+    node_limit: int = 2_000_000,
+) -> np.ndarray | None:
+    """Search for a subgraph monomorphism of ``pattern`` into ``host``.
+
+    Returns a node-map array on success, ``None`` if none exists.  Raises
+    ``RuntimeError`` if the search exceeds ``node_limit`` visited states
+    (guard against accidental exponential blowups in tests).
+
+    The search assigns pattern nodes in a connectivity-first order; a host
+    candidate must match degree (``deg_host >= deg_pattern``) and be adjacent
+    to the images of all already-placed pattern neighbors.
+    """
+    pn, hn = pattern.node_count, host.node_count
+    if pn == 0:
+        return np.empty(0, dtype=np.int64)
+    if pn > hn:
+        return None
+    order = _order_pattern_nodes(pattern)
+    pdeg = pattern.degrees()
+    hdeg = host.degrees()
+    phi = np.full(pn, -1, dtype=np.int64)
+    used = np.zeros(hn, dtype=bool)
+    visited = 0
+
+    # Pre-split each ordered node's neighbors into earlier-placed ones.
+    pos_of = {v: i for i, v in enumerate(order)}
+    earlier_nbrs: list[np.ndarray] = []
+    for i, v in enumerate(order):
+        nb = pattern.neighbors(v)
+        earlier_nbrs.append(
+            np.array([w for w in nb if pos_of[w] < i], dtype=np.int64)
+        )
+
+    def candidates(i: int) -> np.ndarray:
+        v = order[i]
+        anchors = earlier_nbrs[i]
+        if anchors.size == 0:
+            pool = np.flatnonzero(~used)
+        else:
+            # intersect host neighborhoods of anchor images
+            pool = host.neighbors(int(phi[anchors[0]]))
+            for a in anchors[1:]:
+                pool = np.intersect1d(
+                    pool, host.neighbors(int(phi[a])), assume_unique=True
+                )
+            pool = pool[~used[pool]]
+        return pool[hdeg[pool] >= pdeg[v]]
+
+    def backtrack(i: int) -> bool:
+        nonlocal visited
+        if i == pn:
+            return True
+        visited += 1
+        if visited > node_limit:
+            raise RuntimeError(
+                f"find_embedding exceeded node_limit={node_limit}"
+            )
+        v = order[i]
+        for c in candidates(i):
+            phi[v] = c
+            used[c] = True
+            if backtrack(i + 1):
+                return True
+            used[c] = False
+            phi[v] = -1
+        return False
+
+    if backtrack(0):
+        return phi.copy()
+    return None
+
+
+def is_subgraph_embeddable(pattern: StaticGraph, host: StaticGraph, **kw) -> bool:
+    """Convenience wrapper: whether some embedding of ``pattern`` into
+    ``host`` exists."""
+    return find_embedding(pattern, host, **kw) is not None

@@ -1,0 +1,53 @@
+"""Lossless conversion between :class:`StaticGraph` and :mod:`networkx`.
+
+networkx is used for *cross-validation only* (independent implementations
+of isomorphism, connectivity, diameter) — the library's own kernels carry
+all hot paths.  Keeping the bridge in one module makes that boundary
+auditable.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import GraphFormatError
+from repro.graphs.static_graph import StaticGraph
+
+__all__ = ["to_networkx", "from_networkx", "nx_node_connectivity", "nx_is_subgraph_isomorphic"]
+
+
+def to_networkx(g: StaticGraph) -> "nx.Graph":
+    """Convert to an undirected :class:`networkx.Graph` with integer nodes."""
+    out = nx.Graph()
+    out.add_nodes_from(range(g.node_count))
+    out.add_edges_from((int(u), int(v)) for u, v in g.edges())
+    return out
+
+
+def from_networkx(g: "nx.Graph") -> StaticGraph:
+    """Convert an undirected networkx graph with nodes ``0..n-1`` back to a
+    :class:`StaticGraph` (raises on non-integer or gapped labelings)."""
+    n = g.number_of_nodes()
+    labels = set(g.nodes())
+    if labels != set(range(n)):
+        raise GraphFormatError(
+            "from_networkx requires integer node labels 0..n-1; "
+            "relabel with nx.convert_node_labels_to_integers first"
+        )
+    return StaticGraph(n, [(int(u), int(v)) for u, v in g.edges() if u != v])
+
+
+def nx_node_connectivity(g: StaticGraph) -> int:
+    """Exact node connectivity via networkx max-flow (small graphs only)."""
+    return int(nx.node_connectivity(to_networkx(g)))
+
+
+def nx_is_subgraph_isomorphic(pattern: StaticGraph, host: StaticGraph) -> bool:
+    """Independent subgraph-monomorphism decision via networkx VF2.
+
+    Used to cross-check :func:`repro.graphs.isomorphism.find_embedding`.
+    """
+    gm = nx.algorithms.isomorphism.GraphMatcher(
+        to_networkx(host), to_networkx(pattern)
+    )
+    return bool(gm.subgraph_is_monomorphic())

@@ -1,0 +1,308 @@
+"""Immutable CSR graph kernel.
+
+:class:`StaticGraph` is the workhorse data structure of the library: a
+simple, undirected graph stored in compressed-sparse-row (CSR) form with
+sorted neighbor lists, backed by NumPy arrays.  It is immutable — every
+"mutation" (induced subgraph, relabeling, union) returns a new graph — which
+keeps fault-tolerance experiments referentially transparent and lets
+neighbor queries be O(log d) binary searches over contiguous memory
+(cache-friendly, per the vectorization guidance in the HPC guides).
+
+Conventions
+-----------
+* Nodes are ``0..n-1``.
+* Self-loops are **dropped** on construction (the paper prescribes ignoring
+  them) and parallel edges are deduplicated.
+* Edges are stored twice (both directions); :meth:`edge_count` reports the
+  number of undirected edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import GraphFormatError, ParameterError
+
+__all__ = ["StaticGraph"]
+
+_INDEX_DTYPE = np.int64
+
+
+def _as_edge_array(edges: Iterable | np.ndarray) -> np.ndarray:
+    """Normalize an edge iterable to an ``(E, 2)`` int64 array (possibly empty)."""
+    if isinstance(edges, np.ndarray):
+        arr = np.asarray(edges, dtype=_INDEX_DTYPE)
+    else:
+        pairs = list(edges)
+        if not pairs:
+            return np.empty((0, 2), dtype=_INDEX_DTYPE)
+        arr = np.asarray(pairs, dtype=_INDEX_DTYPE)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=_INDEX_DTYPE)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphFormatError(
+            f"edge list must have shape (E, 2); got {arr.shape!r}"
+        )
+    return arr
+
+
+class StaticGraph:
+    """A simple undirected graph in immutable CSR form.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``n``; node ids are ``0..n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs or an ``(E, 2)`` array.  Self-loops are
+        silently dropped; duplicate edges are merged.
+
+    Examples
+    --------
+    >>> g = StaticGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (1, 1)])
+    >>> g.node_count, g.edge_count
+    (4, 4)
+    >>> g.neighbors(1).tolist()
+    [0, 2]
+    """
+
+    __slots__ = ("_n", "_indptr", "_indices", "_edge_count", "_hash", "_edge_keys")
+
+    def __init__(self, num_nodes: int, edges: Iterable | np.ndarray = ()):
+        n = int(num_nodes)
+        if n < 0:
+            raise ParameterError(f"num_nodes must be >= 0, got {num_nodes}")
+        arr = _as_edge_array(edges)
+        if arr.shape[0]:
+            if arr.min() < 0 or arr.max() >= n:
+                bad = arr[(arr < 0).any(axis=1) | (arr >= n).any(axis=1)][0]
+                raise GraphFormatError(
+                    f"edge endpoint out of range [0, {n}): {tuple(bad)!r}"
+                )
+            arr = arr[arr[:, 0] != arr[:, 1]]  # drop self-loops
+        if arr.shape[0]:
+            # Canonicalize, deduplicate, then mirror to both directions.
+            lo = np.minimum(arr[:, 0], arr[:, 1])
+            hi = np.maximum(arr[:, 0], arr[:, 1])
+            keys = lo * n + hi
+            keys = np.unique(keys)
+            lo, hi = keys // n, keys % n
+            src = np.concatenate([lo, hi])
+            dst = np.concatenate([hi, lo])
+            order = np.lexsort((dst, src))
+            src, dst = src[order], dst[order]
+            indptr = np.zeros(n + 1, dtype=_INDEX_DTYPE)
+            np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+            self._indices = np.ascontiguousarray(dst, dtype=_INDEX_DTYPE)
+            self._indptr = indptr
+            self._edge_count = int(keys.shape[0])
+        else:
+            self._indptr = np.zeros(n + 1, dtype=_INDEX_DTYPE)
+            self._indices = np.empty(0, dtype=_INDEX_DTYPE)
+            self._edge_count = 0
+        self._n = n
+        self._hash: int | None = None
+        self._edge_keys: np.ndarray | None = None
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges (each counted once)."""
+        return self._edge_count
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row-pointer array of length ``n + 1`` (read-only view)."""
+        v = self._indptr.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR concatenated sorted neighbor array (read-only view)."""
+        v = self._indices.view()
+        v.flags.writeable = False
+        return v
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of ``v`` as a read-only array view."""
+        v = self._check_node(v)
+        out = self._indices[self._indptr[v]: self._indptr[v + 1]]
+        out = out.view()
+        out.flags.writeable = False
+        return out
+
+    def degree(self, v: int) -> int:
+        """Degree of node ``v``."""
+        v = self._check_node(v)
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of all node degrees (length ``n``)."""
+        return np.diff(self._indptr)
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes (0 for the empty graph)."""
+        if self._n == 0:
+            return 0
+        return int(self.degrees().max(initial=0))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present (O(log d))."""
+        u = self._check_node(u)
+        v = self._check_node(v)
+        if u == v:
+            return False
+        lo, hi = self._indptr[u], self._indptr[u + 1]
+        i = np.searchsorted(self._indices[lo:hi], v)
+        return bool(i < hi - lo and self._indices[lo + i] == v)
+
+    def has_edges(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`has_edge` over parallel endpoint arrays.
+
+        Returns a boolean array; ``us[i] == vs[i]`` yields ``False``.
+        """
+        us = np.asarray(us, dtype=_INDEX_DTYPE)
+        vs = np.asarray(vs, dtype=_INDEX_DTYPE)
+        if us.shape != vs.shape:
+            raise GraphFormatError("endpoint arrays must have equal shape")
+        if us.size == 0:
+            return np.zeros(0, dtype=bool)
+        if us.min() < 0 or vs.min() < 0 or us.max() >= self._n or vs.max() >= self._n:
+            raise GraphFormatError("endpoint out of range in has_edges")
+        # The CSR stream is sorted by (src, dst), so src*n + dst is a globally
+        # sorted key array and one vectorized binary search answers all
+        # queries at once.
+        if self._edge_keys is None:
+            src = np.repeat(
+                np.arange(self._n, dtype=_INDEX_DTYPE), np.diff(self._indptr)
+            )
+            self._edge_keys = src * self._n + self._indices
+        q = us.ravel() * self._n + vs.ravel()
+        pos = np.searchsorted(self._edge_keys, q)
+        hit = np.zeros(q.shape, dtype=bool)
+        valid = pos < self._edge_keys.shape[0]
+        hit[valid] = self._edge_keys[pos[valid]] == q[valid]
+        return hit.reshape(us.shape)
+
+    def edges(self) -> np.ndarray:
+        """All undirected edges as an ``(E, 2)`` array with ``u < v`` rows,
+        sorted lexicographically."""
+        src = np.repeat(np.arange(self._n, dtype=_INDEX_DTYPE), self.degrees())
+        mask = src < self._indices
+        return np.column_stack([src[mask], self._indices[mask]])
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges as python int pairs ``(u, v)``, u < v."""
+        for u, v in self.edges():
+            yield int(u), int(v)
+
+    def adjacency_dict(self) -> dict[int, list[int]]:
+        """Plain-python adjacency mapping (for debugging / golden tests)."""
+        return {v: [int(w) for w in self.neighbors(v)] for v in range(self._n)}
+
+    # -- derived graphs ----------------------------------------------------
+
+    def induced_subgraph(self, nodes: Sequence[int] | np.ndarray) -> tuple["StaticGraph", np.ndarray]:
+        """Subgraph induced by ``nodes``.
+
+        Returns ``(H, kept)`` where ``kept`` is the sorted array of original
+        node ids and ``H`` has nodes ``0..len(kept)-1`` in that order (i.e.
+        new id ``i`` corresponds to original ``kept[i]``) — exactly the rank
+        relabeling the paper's reconfiguration algorithm uses.
+        """
+        kept = np.unique(np.asarray(nodes, dtype=_INDEX_DTYPE))
+        if kept.size and (kept[0] < 0 or kept[-1] >= self._n):
+            raise GraphFormatError("induced_subgraph: node id out of range")
+        keep_mask = np.zeros(self._n, dtype=bool)
+        keep_mask[kept] = True
+        new_id = np.full(self._n, -1, dtype=_INDEX_DTYPE)
+        new_id[kept] = np.arange(kept.size, dtype=_INDEX_DTYPE)
+        e = self.edges()
+        if e.shape[0]:
+            sel = keep_mask[e[:, 0]] & keep_mask[e[:, 1]]
+            sub_edges = new_id[e[sel]]
+        else:
+            sub_edges = e
+        return StaticGraph(int(kept.size), sub_edges), kept
+
+    def without_nodes(self, faulty: Sequence[int] | np.ndarray) -> tuple["StaticGraph", np.ndarray]:
+        """Complement of :meth:`induced_subgraph`: drop ``faulty`` nodes."""
+        faulty = np.unique(np.asarray(faulty, dtype=_INDEX_DTYPE))
+        if faulty.size and (faulty[0] < 0 or faulty[-1] >= self._n):
+            raise GraphFormatError("without_nodes: node id out of range")
+        mask = np.ones(self._n, dtype=bool)
+        mask[faulty] = False
+        return self.induced_subgraph(np.flatnonzero(mask))
+
+    def relabel(self, perm: Sequence[int] | np.ndarray) -> "StaticGraph":
+        """Return the graph with node ``v`` renamed to ``perm[v]``.
+
+        ``perm`` must be a permutation of ``0..n-1``.
+        """
+        perm = np.asarray(perm, dtype=_INDEX_DTYPE)
+        if perm.shape != (self._n,) or not np.array_equal(np.sort(perm), np.arange(self._n)):
+            raise GraphFormatError("relabel: perm must be a permutation of 0..n-1")
+        e = self.edges()
+        return StaticGraph(self._n, perm[e] if e.shape[0] else e)
+
+    def union(self, other: "StaticGraph") -> "StaticGraph":
+        """Edge-union of two graphs on the same node set."""
+        if other.node_count != self._n:
+            raise GraphFormatError("union: node counts differ")
+        return StaticGraph(self._n, np.vstack([self.edges(), other.edges()]))
+
+    def is_edge_subset_of(self, other: "StaticGraph") -> bool:
+        """Whether every edge of ``self`` is an edge of ``other``
+        (identity node mapping)."""
+        if other.node_count < self._n:
+            return False
+        e = self.edges()
+        if e.shape[0] == 0:
+            return True
+        return bool(other.has_edges(e[:, 0], e[:, 1]).all())
+
+    # -- dunder / misc -----------------------------------------------------
+
+    def _check_node(self, v: int) -> int:
+        v = int(v)
+        if not 0 <= v < self._n:
+            raise GraphFormatError(f"node id {v} out of range [0, {self._n})")
+        return v
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StaticGraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (self._n, self._edge_count, self._indices.tobytes())
+            )
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticGraph(n={self._n}, m={self._edge_count}, max_deg={self.max_degree()})"
+
+    @classmethod
+    def from_adjacency(cls, adj: Mapping[int, Iterable[int]], num_nodes: int | None = None) -> "StaticGraph":
+        """Build from an adjacency mapping ``{u: [v, ...]}``."""
+        edges = [(u, v) for u, vs in adj.items() for v in vs]
+        if num_nodes is None:
+            num_nodes = 0
+            for u, vs in adj.items():
+                num_nodes = max(num_nodes, u + 1, *[v + 1 for v in vs] or [0])
+        return cls(num_nodes, edges)

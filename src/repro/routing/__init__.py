@@ -1,0 +1,41 @@
+"""Routing: shift-register de Bruijn routes, BFS paths, tables, fault routing."""
+
+from repro.routing.shift_register import (
+    overlap_length,
+    route_length,
+    route_length_matrix,
+    shift_route,
+)
+from repro.routing.shortest_path import (
+    bfs_parents,
+    eccentricity,
+    extract_path,
+    shortest_path,
+)
+from repro.routing.tables import (
+    compile_routing_table,
+    table_path,
+    validate_routing_table,
+)
+from repro.routing.fault_routing import (
+    ReconfiguredRouter,
+    detour_route,
+    survivor_graph,
+)
+
+__all__ = [
+    "overlap_length",
+    "shift_route",
+    "route_length",
+    "route_length_matrix",
+    "bfs_parents",
+    "extract_path",
+    "shortest_path",
+    "eccentricity",
+    "compile_routing_table",
+    "table_path",
+    "validate_routing_table",
+    "ReconfiguredRouter",
+    "detour_route",
+    "survivor_graph",
+]

@@ -1,0 +1,76 @@
+"""Classic de Bruijn shift-register routing.
+
+A de Bruijn node is a length-``h`` window over a digit stream; to route
+from ``x`` to ``y``, find the longest suffix of ``x`` that is a prefix of
+``y`` and shift in the remaining digits of ``y`` one per hop.  At most
+``h`` hops — the property that makes de Bruijn networks competitive with
+hypercubes at constant degree (paper §I and reference [1]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.labels import from_digits, to_digits, validate_base, validate_h
+from repro.errors import ParameterError
+
+__all__ = ["overlap_length", "shift_route", "route_length", "route_length_matrix"]
+
+
+def overlap_length(x: int, y: int, m: int, h: int) -> int:
+    """Length of the longest suffix of ``x``'s digit string that equals a
+    prefix of ``y``'s digit string (0..h).
+
+    >>> overlap_length(0b0111, 0b1110, 2, 4)
+    3
+    """
+    dx = to_digits(x, m, h)
+    dy = to_digits(y, m, h)
+    for ell in range(h, -1, -1):
+        if ell == 0:
+            return 0
+        if np.array_equal(dx[h - ell:], dy[:ell]):
+            return ell
+    return 0
+
+
+def shift_route(x: int, y: int, m: int, h: int) -> list[int]:
+    """The shift-register route from ``x`` to ``y`` as a node list
+    (inclusive of both endpoints; length ``h - overlap + 1``).
+
+    Every consecutive pair is a directed de Bruijn arc
+    ``v -> (m*v + r) mod m^h``.
+
+    >>> shift_route(0, 5, 2, 3)
+    [0, 1, 2, 5]
+    """
+    m = validate_base(m)
+    h = validate_h(h)
+    n = m ** h
+    if not (0 <= x < n and 0 <= y < n):
+        raise ParameterError(f"endpoints must lie in [0, {n})")
+    ell = overlap_length(x, y, m, h)
+    dy = to_digits(y, m, h)
+    path = [int(x)]
+    cur = int(x)
+    for pos in range(ell, h):
+        cur = (m * cur + int(dy[pos])) % n
+        path.append(cur)
+    assert path[-1] == y
+    return path
+
+
+def route_length(x: int, y: int, m: int, h: int) -> int:
+    """Hop count of the shift-register route: ``h - overlap_length``."""
+    return validate_h(h) - overlap_length(x, y, m, h)
+
+
+def route_length_matrix(m: int, h: int) -> np.ndarray:
+    """All-pairs shift-route lengths (an upper bound on true distances,
+    exact up to the use of predecessor arcs)."""
+    n = validate_base(m) ** validate_h(h)
+    out = np.empty((n, n), dtype=np.int64)
+    for x in range(n):
+        for y in range(n):
+            out[x, y] = route_length(x, y, m, h)
+    return out

@@ -1,0 +1,69 @@
+"""BFS shortest-path machinery on :class:`StaticGraph`.
+
+Complements the analytical shift-register routes with exact hop-optimal
+paths (de Bruijn distance can beat pure forward shifting by using
+predecessor arcs), and provides the parent trees that routing tables are
+compiled from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError, RoutingError
+from repro.graphs.static_graph import StaticGraph
+
+__all__ = ["bfs_parents", "extract_path", "shortest_path", "eccentricity"]
+
+
+def bfs_parents(g: StaticGraph, source: int) -> np.ndarray:
+    """BFS tree parents from ``source``: ``parent[source] = source``,
+    ``parent[v] = -1`` for unreachable ``v``."""
+    n = g.node_count
+    if not 0 <= source < n:
+        raise GraphFormatError(f"source {source} out of range [0, {n})")
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[source] = source
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in g.neighbors(u):
+                v = int(v)
+                if parent[v] == -1:
+                    parent[v] = u
+                    nxt.append(v)
+        frontier = nxt
+    return parent
+
+
+def extract_path(parent: np.ndarray, source: int, dest: int) -> list[int]:
+    """Recover the source->dest path from a BFS parent array."""
+    if parent[dest] == -1:
+        raise RoutingError(f"destination {dest} unreachable from {source}")
+    path = [int(dest)]
+    cur = int(dest)
+    while cur != source:
+        cur = int(parent[cur])
+        path.append(cur)
+        if len(path) > parent.shape[0]:
+            raise RoutingError("parent array contains a cycle")
+    path.reverse()
+    return path
+
+
+def shortest_path(g: StaticGraph, source: int, dest: int) -> list[int]:
+    """Hop-optimal path between two nodes (raises when disconnected)."""
+    if source == dest:
+        return [int(source)]
+    return extract_path(bfs_parents(g, source), source, dest)
+
+
+def eccentricity(g: StaticGraph, source: int) -> int:
+    """Maximum BFS distance from ``source`` (raises when disconnected)."""
+    from repro.graphs.properties import bfs_distances
+
+    d = bfs_distances(g, source)
+    if (d < 0).any():
+        raise RoutingError("graph is disconnected")
+    return int(d.max())

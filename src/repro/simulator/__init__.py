@@ -1,0 +1,41 @@
+"""Cycle-accurate interconnect simulator: links, buses, traffic, faults."""
+
+from repro.simulator.events import Event, EventQueue
+from repro.simulator.packets import Packet
+from repro.simulator.metrics import RunStats, summarize
+from repro.simulator.network import NetworkSimulator
+from repro.simulator.bus_net import BusNetworkSimulator
+from repro.simulator.traffic import (
+    all_to_all_traffic,
+    bit_reversal_traffic,
+    descend_superstep_traffic,
+    hotspot_traffic,
+    permutation_traffic,
+    transpose_traffic,
+    uniform_traffic,
+)
+from repro.simulator.faults import (
+    DetourController,
+    FaultScenario,
+    ReconfigurationController,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Packet",
+    "RunStats",
+    "summarize",
+    "NetworkSimulator",
+    "BusNetworkSimulator",
+    "all_to_all_traffic",
+    "bit_reversal_traffic",
+    "descend_superstep_traffic",
+    "hotspot_traffic",
+    "permutation_traffic",
+    "transpose_traffic",
+    "uniform_traffic",
+    "DetourController",
+    "FaultScenario",
+    "ReconfigurationController",
+]

@@ -1,0 +1,67 @@
+"""Simulation metrics: latency, throughput, utilization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulator.packets import Packet
+
+__all__ = ["RunStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Summary of one simulation run."""
+
+    cycles: int
+    injected: int
+    delivered: int
+    dropped: int
+    mean_latency: float
+    p95_latency: float
+    max_latency: int
+    mean_hops: float
+    throughput: float  # delivered packets per cycle
+
+    def slowdown_vs(self, baseline: "RunStats") -> float:
+        """Latency slowdown factor relative to a baseline run (the §V
+        bus-vs-point-to-point comparison)."""
+        if baseline.mean_latency == 0:
+            return float("inf") if self.mean_latency > 0 else 1.0
+        return self.mean_latency / baseline.mean_latency
+
+    def completion_slowdown_vs(self, baseline: "RunStats") -> float:
+        """Makespan ratio (total cycles to drain the same workload)."""
+        if baseline.cycles == 0:
+            return float("inf") if self.cycles > 0 else 1.0
+        return self.cycles / baseline.cycles
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunStats(cycles={self.cycles}, delivered={self.delivered}/"
+            f"{self.injected}, dropped={self.dropped}, "
+            f"lat~{self.mean_latency:.2f} (p95={self.p95_latency:.1f}), "
+            f"thr={self.throughput:.3f}/cy)"
+        )
+
+
+def summarize(packets: list[Packet], cycles: int) -> RunStats:
+    """Aggregate packet records into a :class:`RunStats`."""
+    injected = len(packets)
+    lat = np.array([p.latency for p in packets if p.latency is not None], dtype=np.int64)
+    hops = np.array([p.hops for p in packets if p.latency is not None], dtype=np.int64)
+    dropped = sum(1 for p in packets if p.dropped)
+    delivered = int(lat.size)
+    return RunStats(
+        cycles=int(cycles),
+        injected=injected,
+        delivered=delivered,
+        dropped=dropped,
+        mean_latency=float(lat.mean()) if delivered else 0.0,
+        p95_latency=float(np.percentile(lat, 95)) if delivered else 0.0,
+        max_latency=int(lat.max()) if delivered else 0,
+        mean_hops=float(hops.mean()) if delivered else 0.0,
+        throughput=delivered / cycles if cycles else 0.0,
+    )

@@ -1,0 +1,185 @@
+"""Cycle-accurate store-and-forward network simulator.
+
+Model (the unit-time assumptions behind the paper's §V slowdown remarks):
+
+* every directed link carries at most ``link_capacity`` packets per cycle
+  (default 1);
+* a node may transmit on *all* of its outgoing links in the same cycle —
+  this is the "two different values ... from a single processor in unit
+  time" regime the paper contrasts buses against;
+* packets are source-routed: the full path is fixed at injection;
+* traversal of one link takes one cycle; queueing is FIFO per link.
+
+Determinism: link queues are served in sorted key order and FIFO within a
+queue, so a run is a pure function of (graph, injections, schedule).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graphs.static_graph import StaticGraph
+from repro.simulator.metrics import RunStats, summarize
+from repro.simulator.packets import Packet
+
+__all__ = ["NetworkSimulator"]
+
+
+class NetworkSimulator:
+    """Synchronous packet simulator over a :class:`StaticGraph`.
+
+    Parameters
+    ----------
+    graph:
+        Physical topology; every route hop must be one of its edges.
+    link_capacity:
+        Packets one directed link may move per cycle.
+    """
+
+    def __init__(self, graph: StaticGraph, link_capacity: int = 1):
+        if link_capacity < 1:
+            raise SimulationError("link_capacity must be >= 1")
+        self.graph = graph
+        self.link_capacity = int(link_capacity)
+        self.cycle = 0
+        self.packets: list[Packet] = []
+        self._queues: dict[tuple[int, int], deque] = {}
+        self._dead: set[int] = set()
+        self._dead_links: set[tuple[int, int]] = set()
+        self._next_pid = 0
+
+    # -- configuration ------------------------------------------------------
+
+    def disable_node(self, v: int) -> int:
+        """Mark a node dead mid-run.  All packets currently queued on links
+        into or out of ``v`` are dropped (they were in the failed router).
+        Returns the number of packets dropped."""
+        v = int(v)
+        self._dead.add(v)
+        dropped = 0
+        for (a, b), q in list(self._queues.items()):
+            if a == v or b == v:
+                for pkt, _arr, _hop in q:
+                    pkt.dropped = True
+                    dropped += 1
+                del self._queues[(a, b)]
+        return dropped
+
+    @property
+    def dead_nodes(self) -> frozenset[int]:
+        return frozenset(self._dead)
+
+    def disable_link(self, u: int, v: int) -> int:
+        """Fail the undirected link {u, v} mid-run (paper §I: an edge
+        fault; tolerated at the construction level by marking an incident
+        node faulty — see :mod:`repro.core.edge_faults`).  Packets queued
+        on either direction are dropped; returns the drop count."""
+        u, v = int(u), int(v)
+        self._dead_links.add((u, v))
+        self._dead_links.add((v, u))
+        dropped = 0
+        for key in ((u, v), (v, u)):
+            q = self._queues.pop(key, None)
+            if q:
+                for pkt, _arr, _hop in q:
+                    pkt.dropped = True
+                    dropped += 1
+        return dropped
+
+    # -- injection ------------------------------------------------------------
+
+    def inject_route(self, route: list[int], *, validate: bool = True) -> Packet:
+        """Inject one packet with an explicit physical route."""
+        if len(route) < 1:
+            raise SimulationError("route must contain at least the source")
+        if validate:
+            for a, b in zip(route, route[1:]):
+                if not self.graph.has_edge(int(a), int(b)):
+                    raise SimulationError(f"route hop ({a}, {b}) is not an edge")
+        for a, b in zip(route, route[1:]):
+            if (int(a), int(b)) in self._dead_links:
+                raise SimulationError(f"route uses dead link ({a}, {b})")
+        for v in route:
+            if int(v) in self._dead:
+                raise SimulationError(f"route passes dead node {v}")
+        pkt = Packet(self._next_pid, [int(v) for v in route], self.cycle)
+        self._next_pid += 1
+        self.packets.append(pkt)
+        if len(route) == 1:
+            pkt.delivered_at = self.cycle  # degenerate self-delivery
+        else:
+            self._enqueue(pkt, 0)
+        return pkt
+
+    def inject(
+        self,
+        pairs: Iterable[tuple[int, int]] | np.ndarray,
+        router: Callable[[int, int], list[int]],
+        *,
+        validate: bool = True,
+    ) -> list[Packet]:
+        """Inject a batch of (src, dst) messages routed by ``router``."""
+        return [
+            self.inject_route(router(int(s), int(d)), validate=validate)
+            for s, d in pairs
+        ]
+
+    def _enqueue(self, pkt: Packet, hop_index: int) -> None:
+        key = (pkt.route[hop_index], pkt.route[hop_index + 1])
+        self._queues.setdefault(key, deque()).append((pkt, self.cycle, hop_index))
+
+    # -- execution --------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Packets currently queued on some link."""
+        return sum(len(q) for q in self._queues.values())
+
+    def step(self) -> int:
+        """Advance one cycle; returns the number of packets delivered."""
+        self.cycle += 1
+        delivered = 0
+        moved: list[tuple[Packet, int]] = []
+        for key in sorted(self._queues.keys()):
+            q = self._queues[key]
+            budget = self.link_capacity
+            while budget and q and q[0][1] < self.cycle:
+                pkt, _arr, hop = q.popleft()
+                moved.append((pkt, hop + 1))
+                budget -= 1
+            if not q:
+                del self._queues[key]
+        for pkt, hop in moved:
+            node = pkt.route[hop]
+            if node in self._dead:
+                pkt.dropped = True
+                continue
+            if hop == len(pkt.route) - 1:
+                pkt.delivered_at = self.cycle
+                delivered += 1
+            else:
+                nxt = pkt.route[hop + 1]
+                if nxt in self._dead or (node, nxt) in self._dead_links:
+                    pkt.dropped = True
+                    continue
+                self._enqueue(pkt, hop)
+        return delivered
+
+    def run(self, max_cycles: int = 1_000_000) -> RunStats:
+        """Step until all traffic drains (delivered or dropped)."""
+        start = self.cycle
+        while self.in_flight:
+            if self.cycle - start >= max_cycles:
+                raise SimulationError(
+                    f"simulation did not drain within {max_cycles} cycles"
+                )
+            self.step()
+        return self.stats()
+
+    def stats(self) -> RunStats:
+        """Aggregate statistics over everything injected so far."""
+        return summarize(self.packets, self.cycle)

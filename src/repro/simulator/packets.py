@@ -1,0 +1,47 @@
+"""Packet records for the store-and-forward simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Packet"]
+
+
+@dataclass
+class Packet:
+    """One message in flight.
+
+    The route is fixed at injection time (source routing): ``route[0]`` is
+    the source, ``route[-1]`` the destination, and ``hop`` indexes the node
+    currently holding the packet.  Timestamps are simulator cycles.
+    """
+
+    pid: int
+    route: list[int]
+    injected_at: int
+    delivered_at: int | None = None
+    dropped: bool = field(default=False)
+    word: int | None = None
+    """Broadcast word id: packets carrying the same physical word from the
+    same transmitter may share one bus transaction (paper §V: a node
+    sending *one* value to all its successors costs a single bus cycle)."""
+
+    @property
+    def src(self) -> int:
+        return self.route[0]
+
+    @property
+    def dst(self) -> int:
+        return self.route[-1]
+
+    @property
+    def hops(self) -> int:
+        """Path length in links."""
+        return len(self.route) - 1
+
+    @property
+    def latency(self) -> int | None:
+        """Delivery latency in cycles, or ``None`` while in flight/dropped."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.injected_at

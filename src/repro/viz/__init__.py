@@ -1,0 +1,10 @@
+"""Text/DOT renderings of the paper's figures."""
+
+from repro.viz.ascii_art import (
+    adjacency_listing,
+    bus_listing,
+    relabeled_listing,
+    to_dot,
+)
+
+__all__ = ["adjacency_listing", "bus_listing", "relabeled_listing", "to_dot"]

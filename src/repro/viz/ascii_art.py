@@ -1,0 +1,83 @@
+"""Text renderings of the paper's figures.
+
+The paper's Figures 1-5 draw nodes on a ring with chord edges.  Terminal
+reproduction renders each figure as (a) a ring-ordered adjacency listing
+with binary labels exactly as the paper prints them and (b) a Graphviz
+DOT string (circo layout) for readers who want pixels.  Reconfiguration
+figures (3, 5) mark faulty nodes and show the new logical label hosted on
+each physical node — the paper's "new labels ... after one fault".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.labels import format_label
+from repro.graphs.hypergraph import BusHypergraph
+from repro.graphs.static_graph import StaticGraph
+
+__all__ = [
+    "adjacency_listing",
+    "to_dot",
+    "relabeled_listing",
+    "bus_listing",
+]
+
+
+def adjacency_listing(g: StaticGraph, m: int | None = None, h: int | None = None) -> str:
+    """Ring-ordered adjacency text; labels printed in paper digit style
+    when (m, h) are given and the id fits."""
+    lines = []
+    n_digits = len(str(g.node_count - 1)) if g.node_count else 1
+    for v in range(g.node_count):
+        if m is not None and h is not None and v < m ** h:
+            lab = f"{v:>{n_digits}} {format_label(v, m, h)}"
+        else:
+            lab = f"{v:>{n_digits}} (spare)" if m is not None else f"{v:>{n_digits}}"
+        nbrs = ", ".join(str(int(w)) for w in g.neighbors(v))
+        lines.append(f"{lab:<24} -- {{{nbrs}}}")
+    return "\n".join(lines)
+
+
+def to_dot(g: StaticGraph, name: str = "G", faulty=()) -> str:
+    """Graphviz DOT (circo ring layout); faulty nodes drawn filled."""
+    fset = {int(v) for v in faulty}
+    out = [f'graph "{name}" {{', "  layout=circo;", "  node [shape=circle];"]
+    for v in range(g.node_count):
+        style = ' [style=filled, fillcolor=gray]' if v in fset else ""
+        out.append(f"  {v}{style};")
+    for u, v in g.iter_edges():
+        out.append(f"  {u} -- {v};")
+    out.append("}")
+    return "\n".join(out)
+
+
+def relabeled_listing(
+    total_nodes: int, phi: np.ndarray, faults, m: int, h: int
+) -> str:
+    """Fig. 3 style: for each *physical* node, the logical label it hosts
+    after reconfiguration (``X`` marks faults, ``-`` unused spares)."""
+    inv = {int(p): x for x, p in enumerate(phi)}
+    fset = {int(v) for v in faults}
+    lines = []
+    for p in range(total_nodes):
+        if p in fset:
+            body = "X  (faulty)"
+        elif p in inv:
+            x = inv[p]
+            body = f"hosts {x} = {format_label(x, m, h)}"
+        else:
+            body = "-  (idle spare)"
+        lines.append(f"physical {p:>3}: {body}")
+    return "\n".join(lines)
+
+
+def bus_listing(bg: BusHypergraph) -> str:
+    """Fig. 4 style: one line per bus, owner first, then the block."""
+    lines = []
+    owners = bg.owners
+    for b in range(bg.bus_count):
+        mem = ", ".join(str(int(v)) for v in bg.bus_members(b))
+        own = f" (owner {int(owners[b])})" if owners is not None else ""
+        lines.append(f"bus {b:>3}{own}: {{{mem}}}")
+    return "\n".join(lines)

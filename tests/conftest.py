@@ -1,0 +1,40 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import StaticGraph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for every test that samples."""
+    return np.random.default_rng(0xB0C7)
+
+
+@pytest.fixture
+def triangle() -> StaticGraph:
+    return StaticGraph(3, [(0, 1), (1, 2), (2, 0)])
+
+
+@pytest.fixture
+def square() -> StaticGraph:
+    return StaticGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+@pytest.fixture
+def petersen() -> StaticGraph:
+    """The Petersen graph — a classic non-trivial 3-regular test subject."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    return StaticGraph(10, outer + spokes + inner)
+
+
+def random_graph(n: int, p: float, rng: np.random.Generator) -> StaticGraph:
+    """G(n, p) helper used by several test modules."""
+    iu, iv = np.triu_indices(n, k=1)
+    mask = rng.random(iu.size) < p
+    return StaticGraph(n, np.column_stack([iu[mask], iv[mask]]))

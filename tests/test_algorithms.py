@@ -1,0 +1,141 @@
+"""Tests for the Ascend/Descend framework and de Bruijn emulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    DeBruijnEmulation,
+    HypercubeRunner,
+    ascend_schedule,
+    descend_schedule,
+    run_reference,
+)
+from repro.core import debruijn, ft_debruijn
+from repro.core.reconfiguration import rank_remap
+from repro.errors import ParameterError
+from repro.graphs import hypercube
+
+
+def xor_op(bit, i, own, partner):
+    """A simple verifiable op: combine pair values symmetrically."""
+    return (own + partner) if ((i >> bit) & 1) == 0 else (partner - own)
+
+
+class TestReference:
+    def test_schedules(self):
+        assert descend_schedule(3) == [2, 1, 0]
+        assert ascend_schedule(3) == [0, 1, 2]
+
+    def test_reference_allreduce_semantics(self):
+        h = 3
+        vals = list(range(8))
+        out = run_reference(h, vals, ascend_schedule(h), lambda b, i, a, p: a + p)
+        assert out == [sum(vals)] * 8
+
+    def test_reference_size_check(self):
+        with pytest.raises(ParameterError):
+            run_reference(3, [1, 2, 3], [0], xor_op)
+
+    def test_reference_bit_range(self):
+        with pytest.raises(ParameterError):
+            run_reference(3, list(range(8)), [5], xor_op)
+
+
+class TestHypercubeRunner:
+    def test_matches_reference(self):
+        h = 4
+        vals = list(np.random.default_rng(0).integers(0, 50, size=16))
+        ref = run_reference(h, vals, descend_schedule(h), xor_op)
+        out, trace = HypercubeRunner(h).run(vals, descend_schedule(h), xor_op)
+        assert out == ref
+        assert trace.round_count == h
+
+    def test_trace_uses_hypercube_edges(self):
+        h = 3
+        _, trace = HypercubeRunner(h).run(list(range(8)), ascend_schedule(h), xor_op)
+        assert trace.verify_against(hypercube(h))
+
+
+class TestDeBruijnEmulation:
+    @pytest.mark.parametrize("h", [3, 4, 5])
+    def test_descend_matches_reference(self, h):
+        vals = list(np.random.default_rng(h).integers(0, 100, size=1 << h))
+        ref = run_reference(h, vals, descend_schedule(h), xor_op)
+        out, trace = DeBruijnEmulation(h).run(vals, descend_schedule(h), xor_op)
+        assert out == ref
+
+    @pytest.mark.parametrize("h", [3, 4, 5])
+    def test_ascend_matches_reference(self, h):
+        vals = list(np.random.default_rng(h).integers(0, 100, size=1 << h))
+        ref = run_reference(h, vals, ascend_schedule(h), xor_op)
+        out, trace = DeBruijnEmulation(h).run(vals, ascend_schedule(h), xor_op)
+        assert out == ref
+
+    def test_descend_needs_no_extra_rounds(self):
+        """The classic result: Descend runs in exactly h rounds on dB
+        (plus realignment back to offset 0, which for a full descend is
+        zero extra because t ends at h ≡ 0)."""
+        h = 4
+        _, trace = DeBruijnEmulation(h).run(
+            list(range(16)), descend_schedule(h), xor_op
+        )
+        assert trace.round_count == h
+
+    def test_ascend_constant_factor(self):
+        h = 5
+        _, trace = DeBruijnEmulation(h).run(
+            list(range(32)), ascend_schedule(h), xor_op
+        )
+        assert trace.round_count <= 3 * h + h  # pair+rotations, realign
+
+    @pytest.mark.parametrize("h", [3, 4, 5])
+    def test_trace_stays_on_debruijn_edges(self, h):
+        _, trace = DeBruijnEmulation(h).run(
+            list(range(1 << h)), descend_schedule(h), xor_op
+        )
+        assert trace.verify_against(debruijn(2, h))
+        _, trace2 = DeBruijnEmulation(h).run(
+            list(range(1 << h)), ascend_schedule(h), xor_op
+        )
+        assert trace2.verify_against(debruijn(2, h))
+
+    def test_arbitrary_bit_order(self):
+        """Any bit sequence works (with realignment rotations)."""
+        h = 4
+        schedule = [2, 0, 3, 1, 1, 3]
+        vals = list(np.random.default_rng(9).integers(0, 30, size=16))
+        ref = run_reference(h, vals, schedule, xor_op)
+        out, trace = DeBruijnEmulation(h).run(vals, schedule, xor_op)
+        assert out == ref
+        assert trace.verify_against(debruijn(2, h))
+
+    def test_through_reconfiguration_map(self):
+        """Run on the survivors of B^k_{2,h}: trace must use only healthy
+        FT-graph edges."""
+        h, k = 4, 2
+        ft = ft_debruijn(2, h, k)
+        faults = [2, 9]
+        phi = rank_remap(ft.node_count, faults, 1 << h)
+        emu = DeBruijnEmulation(h, node_map=phi)
+        vals = list(range(16))
+        ref = run_reference(h, vals, descend_schedule(h), xor_op)
+        out, trace = emu.run(vals, descend_schedule(h), xor_op)
+        assert out == ref
+        assert trace.verify_against(ft)
+        for msgs in trace.rounds:
+            for a, b in msgs:
+                assert a not in faults and b not in faults
+
+    def test_bad_node_map_length(self):
+        with pytest.raises(ParameterError):
+            DeBruijnEmulation(3, node_map=np.arange(5))
+
+    def test_bad_values_length(self):
+        with pytest.raises(ParameterError):
+            DeBruijnEmulation(3).run([1, 2], [0], xor_op)
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(ParameterError):
+            DeBruijnEmulation(3).run(list(range(8)), [7], xor_op)

@@ -1,0 +1,103 @@
+"""Tests for the closed-form bounds module vs measured construction values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConstructionSpec,
+    bus_ft_debruijn,
+    corollary_table,
+    debruijn,
+    ft_debruijn,
+    ft_degree_bound,
+    natural_ft_shuffle_exchange,
+    optimal_ft_node_count,
+    paper_constructions,
+    samatham_pradhan,
+    target_degree_bound,
+)
+from repro.errors import ParameterError
+
+
+class TestFormulas:
+    def test_target_degree(self):
+        assert target_degree_bound(2) == 4
+        assert target_degree_bound(5) == 10
+
+    def test_optimal_node_count(self):
+        assert optimal_ft_node_count(16, 3) == 19
+        with pytest.raises(ParameterError):
+            optimal_ft_node_count(-1, 0)
+        with pytest.raises(ParameterError):
+            optimal_ft_node_count(4, -1)
+
+    def test_paper_meets_optimal_node_count(self):
+        for m, h, k in [(2, 3, 1), (2, 5, 4), (3, 3, 2)]:
+            assert ft_debruijn(m, h, k).node_count == optimal_ft_node_count(m ** h, k)
+
+
+class TestCorollaryTable:
+    def test_rows_complete(self):
+        rows = corollary_table(4)
+        assert len(rows) == 3 * 4  # 3 bases x 4 k-values
+
+    def test_cor2(self):
+        rows = [r for r in corollary_table(4) if r["m"] == 2 and r["k"] == 1]
+        assert rows[0]["cor2_or_4"] == 8
+        assert rows[0]["degree_bound"] == 8
+
+    def test_cor4(self):
+        for m in (3, 4):
+            rows = [r for r in corollary_table(3, m_values=(m,), k_values=(1,))]
+            assert rows[0]["cor2_or_4"] == 6 * m - 4
+            assert rows[0]["degree_bound"] == 6 * m - 4
+
+    def test_matches_measured(self):
+        for row in corollary_table(3, m_values=(2, 3), k_values=(0, 1, 2)):
+            g = ft_debruijn(row["m"], row["h"], row["k"])
+            assert g.node_count == row["nodes"]
+            assert g.max_degree() <= row["degree_bound"]
+
+
+class TestComparisonRows:
+    def test_base2_rows(self):
+        rows = paper_constructions(2, 4, 1)
+        names = [r.name for r in rows]
+        assert any("this paper" in n for n in names)
+        assert any("Samatham" in n for n in names)
+        assert any("ψ" in n for n in names)
+        assert any("natural" in n for n in names)
+        assert any("Bus" in n for n in names)
+
+    def test_basem_rows(self):
+        rows = paper_constructions(3, 3, 2)
+        assert len(rows) == 2  # SE and bus rows are base-2 only
+
+    def test_row_tuple(self):
+        spec = ConstructionSpec("x", 10, 4, "src")
+        assert spec.row() == ("x", 10, 4, "src")
+
+    def test_measured_consistency(self):
+        """Every quoted row must be consistent with a real construction."""
+        m, h, k = 2, 3, 1
+        rows = {r.name: r for r in paper_constructions(m, h, k)}
+        ours = ft_debruijn(m, h, k)
+        sp = samatham_pradhan(m, h, k)
+        bus = bus_ft_debruijn(h, k)
+        nat = natural_ft_shuffle_exchange(h, k)
+        ours_row = rows[f"B^{k}_{{{m},{h}}} (this paper)"]
+        assert ours.node_count == ours_row.nodes
+        assert ours.max_degree() <= ours_row.degree_bound
+        sp_row = rows[f"Samatham-Pradhan B_{{{m*(k+1)},{h}}}"]
+        assert sp.node_count == sp_row.nodes
+        bus_row = rows[f"Bus implementation of B^{k}_{{2,{h}}}"]
+        assert bus.max_bus_degree() == bus_row.degree_bound
+        nat_row = rows[f"FT shuffle-exchange, natural labeling (k={k})"]
+        assert nat.max_degree() <= nat_row.degree_bound
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            paper_constructions(2, 2, 1)
+        with pytest.raises(ParameterError):
+            paper_constructions(2, 3, -1)

@@ -1,0 +1,141 @@
+"""Unit tests for the topology generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs import (
+    butterfly,
+    complete,
+    cube_connected_cycles,
+    cycle,
+    degree_stats,
+    diameter,
+    grid2d,
+    hypercube,
+    is_connected,
+    kautz,
+    path,
+    star,
+)
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("dim", [0, 1, 2, 3, 4, 5])
+    def test_counts(self, dim):
+        g = hypercube(dim)
+        n = 1 << dim
+        assert g.node_count == n
+        assert g.edge_count == dim * n // 2
+        if dim:
+            assert set(g.degrees()) == {dim}
+
+    def test_q3_adjacency(self):
+        g = hypercube(3)
+        assert g.has_edge(0, 1) and g.has_edge(0, 2) and g.has_edge(0, 4)
+        assert not g.has_edge(0, 3)
+
+    def test_diameter_is_dim(self):
+        for dim in (1, 2, 3, 4):
+            assert diameter(hypercube(dim)) == dim
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            hypercube(-1)
+
+
+class TestElementary:
+    def test_cycle(self):
+        g = cycle(5)
+        assert g.edge_count == 5
+        assert set(g.degrees()) == {2}
+        assert diameter(g) == 2
+
+    def test_cycle_min_size(self):
+        with pytest.raises(ParameterError):
+            cycle(2)
+
+    def test_path(self):
+        g = path(4)
+        assert g.edge_count == 3
+        assert g.degree(0) == 1 and g.degree(1) == 2
+
+    def test_complete(self):
+        g = complete(6)
+        assert g.edge_count == 15
+        assert set(g.degrees()) == {5}
+
+    def test_star(self):
+        g = star(7)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+
+    def test_grid(self):
+        g = grid2d(3, 4)
+        assert g.node_count == 12
+        assert g.edge_count == 3 * 3 + 2 * 4  # horiz + vert
+        assert g.degree(0) == 2  # corner
+        assert g.degree(5) == 4  # interior
+
+    def test_grid_validation(self):
+        with pytest.raises(ParameterError):
+            grid2d(0, 3)
+
+
+class TestCCC:
+    @pytest.mark.parametrize("dim", [3, 4])
+    def test_counts_and_regularity(self, dim):
+        g = cube_connected_cycles(dim)
+        assert g.node_count == dim * (1 << dim)
+        assert set(g.degrees()) == {3}
+        assert is_connected(g)
+
+    def test_dim2_degenerate(self):
+        # dim=2 cycles of length 2 collapse to single edges -> degree 2.
+        g = cube_connected_cycles(2)
+        assert g.node_count == 8
+        assert g.max_degree() <= 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ParameterError):
+            cube_connected_cycles(0)
+
+
+class TestButterfly:
+    def test_wrapped_counts(self):
+        g = butterfly(3, wrap=True)
+        assert g.node_count == 3 * 8
+        assert is_connected(g)
+        assert g.max_degree() <= 4
+
+    def test_unwrapped_counts(self):
+        g = butterfly(3, wrap=False)
+        assert g.node_count == 4 * 8
+        # boundary levels have degree 2
+        stats = degree_stats(g)
+        assert stats.minimum == 2 and stats.maximum == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ParameterError):
+            butterfly(0)
+
+
+class TestKautz:
+    @pytest.mark.parametrize("m,h", [(2, 2), (2, 3), (3, 2)])
+    def test_counts(self, m, h):
+        g = kautz(m, h)
+        assert g.node_count == (m + 1) * m ** (h - 1)
+        assert is_connected(g)
+        # Kautz out-degree m, in-degree m => undirected degree <= 2m
+        assert g.max_degree() <= 2 * m
+
+    def test_no_repeated_letters_means_no_self_loops(self):
+        g = kautz(2, 3)
+        for u, v in g.iter_edges():
+            assert u != v
+
+    def test_rejects_small_base(self):
+        with pytest.raises(ParameterError):
+            kautz(1, 3)

@@ -1,0 +1,174 @@
+"""Tests for the Section V bus architectures (Figs. 4-5, degree 2k+3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    bus_debruijn,
+    bus_degree_bound,
+    bus_ft_debruijn,
+    debruijn,
+    ft_debruijn,
+    reconfigure_with_bus_faults,
+    verify_bus_embedding,
+)
+from repro.core.debruijn import debruijn_directed_successors
+from repro.errors import FaultSetError, ParameterError
+
+
+class TestBusDeBruijn:
+    def test_counts(self):
+        bg = bus_debruijn(3)
+        assert bg.node_count == 8
+        assert bg.bus_count == 8
+
+    def test_bus_members_definition(self):
+        # bus i connects node i to both 2i mod 2^h and (2i+1) mod 2^h
+        bg = bus_debruijn(4)
+        for i in range(16):
+            mem = set(map(int, bg.bus_members(i)))
+            assert mem == {i, (2 * i) % 16, (2 * i + 1) % 16}
+
+    def test_degree_at_most_3(self):
+        # own bus + at most 2 memberships
+        for h in (3, 4, 5):
+            assert bus_debruijn(h).max_bus_degree() <= 3
+
+    def test_connectivity_covers_debruijn(self):
+        """All of B_{2,h}'s connectivity is maintained (§V claim)."""
+        for h in (3, 4):
+            cover = bus_debruijn(h).connectivity_graph()
+            assert debruijn(2, h).is_edge_subset_of(cover)
+
+
+class TestBusFTDeBruijn:
+    def test_fig4_shape(self):
+        # Fig. 4: B^1_{2,3} with buses — 9 nodes, 9 buses
+        bg = bus_ft_debruijn(3, 1)
+        assert bg.node_count == 9 and bg.bus_count == 9
+
+    def test_block_definition(self):
+        # bus i reaches the block of 2k+2 consecutive nodes starting at
+        # (2i - k) mod (2^h + k)
+        h, k = 4, 2
+        n = 2 ** h + k
+        bg = bus_ft_debruijn(h, k)
+        for i in range(n):
+            mem = set(map(int, bg.bus_members(i)))
+            expect = {(2 * i - k + j) % n for j in range(2 * k + 2)} | {i}
+            assert mem == expect
+
+    @pytest.mark.parametrize("h,k", [(3, 1), (3, 2), (4, 1), (4, 3), (5, 2)])
+    def test_degree_exactly_2k_plus_3(self, h, k):
+        bg = bus_ft_debruijn(h, k)
+        assert bg.max_bus_degree() == bus_degree_bound(k) == 2 * k + 3
+
+    def test_degree_halves_point_to_point(self):
+        # 2k+3 vs 4k+4: "reduce the degrees ... by almost a factor of 2"
+        for k in (1, 2, 3, 5):
+            assert bus_degree_bound(k) <= (4 * k + 4) / 2 + 1
+
+    def test_owned_bus_covers_successor_block(self):
+        """Every FT-graph edge is drivable: each node's point-to-point
+        successors all sit on its own bus."""
+        h, k = 3, 2
+        bg = bus_ft_debruijn(h, k)
+        ft = ft_debruijn(2, h, k)
+        n = ft.node_count
+        for i in range(n):
+            mem = set(map(int, bg.bus_members(i)))
+            succ = {(2 * i + r) % n for r in range(-k, k + 2)}
+            assert succ <= mem
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            bus_ft_debruijn(3, -1)
+        with pytest.raises(ParameterError):
+            bus_degree_bound(-2)
+
+
+class TestBusReconfiguration:
+    def test_no_faults(self):
+        phi, eff = reconfigure_with_bus_faults(3, 1)
+        assert list(phi) == list(range(8))
+        assert eff.size == 0
+
+    @pytest.mark.parametrize("fault", range(9))
+    def test_fig5_every_single_node_fault(self, fault):
+        """Fig. 5 generalized: reconfiguration works for every 1-node fault
+        in the bus implementation of B^1_{2,3}, and the embedded target is
+        drivable over healthy buses only."""
+        h, k = 3, 1
+        phi, eff = reconfigure_with_bus_faults(h, k, node_faults=[fault])
+        assert fault not in set(map(int, phi))
+        bg = bus_ft_debruijn(h, k)
+        healthy = [b for b in range(bg.bus_count) if b != fault]
+        # the faulty node's own bus is unusable only as a *transmitter*;
+        # here we conservatively require drivability without it entirely
+        ok = verify_bus_embedding(
+            bg,
+            debruijn(2, h),
+            phi,
+            healthy_buses=healthy,
+            directed_successors=debruijn_directed_successors(2, h),
+        )
+        assert ok
+
+    @pytest.mark.parametrize("bus", range(9))
+    def test_every_single_bus_fault(self, bus):
+        """§V's bus-fault rule: a faulty bus is absorbed as its owner's
+        fault and reconfiguration still succeeds."""
+        h, k = 3, 1
+        phi, eff = reconfigure_with_bus_faults(h, k, bus_faults=[bus])
+        assert list(eff) == [bus]  # owner == bus id in this construction
+        bg = bus_ft_debruijn(h, k)
+        healthy = [b for b in range(bg.bus_count) if b != bus]
+        assert verify_bus_embedding(
+            bg,
+            debruijn(2, h),
+            phi,
+            healthy_buses=healthy,
+            directed_successors=debruijn_directed_successors(2, h),
+        )
+
+    def test_combined_budget_enforced(self):
+        with pytest.raises(FaultSetError):
+            reconfigure_with_bus_faults(3, 1, node_faults=[0], bus_faults=[5])
+
+    def test_same_node_and_bus_fault_counts_once(self):
+        phi, eff = reconfigure_with_bus_faults(3, 1, node_faults=[4], bus_faults=[4])
+        assert list(eff) == [4]
+
+    def test_k2_double_faults(self):
+        h, k = 3, 2
+        bg = bus_ft_debruijn(h, k)
+        for faults in ([0, 1], [3, 9], [8, 9]):
+            phi, eff = reconfigure_with_bus_faults(h, k, node_faults=faults)
+            healthy = [b for b in range(bg.bus_count) if b not in faults]
+            assert verify_bus_embedding(
+                bg, debruijn(2, h), phi, healthy_buses=healthy,
+                directed_successors=debruijn_directed_successors(2, h),
+            )
+
+
+class TestVerifyBusEmbedding:
+    def test_detects_unhealthy_bus(self):
+        h, k = 3, 1
+        bg = bus_ft_debruijn(h, k)
+        phi = np.arange(8)
+        # mark bus 0 unhealthy while node 0 still must transmit
+        ok = verify_bus_embedding(
+            bg, debruijn(2, h), phi,
+            healthy_buses=list(range(1, 9)),
+            directed_successors=debruijn_directed_successors(2, h),
+        )
+        assert not ok
+
+    def test_requires_owners(self):
+        from repro.graphs import BusHypergraph
+
+        bg = BusHypergraph(4, [[0, 1, 2, 3]])
+        with pytest.raises(FaultSetError):
+            verify_bus_embedding(bg, debruijn(2, 3), np.arange(8))

@@ -1,0 +1,90 @@
+"""Tests for the base-m bus generalization (§V's deferred construction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    bus_degree_bound_basem,
+    bus_ft_debruijn_basem,
+    debruijn,
+    ft_debruijn,
+    ft_degree_bound,
+    rank_remap,
+    verify_bus_embedding,
+)
+from repro.core.debruijn import debruijn_directed_successors
+from repro.core.xfunc import ft_window
+from repro.errors import ParameterError
+
+
+class TestBaseMBusConstruction:
+    @pytest.mark.parametrize("m,h,k", [(2, 3, 1), (3, 3, 1), (3, 3, 2), (4, 3, 1), (5, 3, 1)])
+    def test_degree_exactly_at_bound(self, m, h, k):
+        bg = bus_ft_debruijn_basem(m, h, k)
+        assert bg.max_bus_degree() == bus_degree_bound_basem(m, k)
+
+    def test_reduces_to_base2_construction(self):
+        from repro.core import bus_ft_debruijn
+
+        a = bus_ft_debruijn_basem(2, 4, 2)
+        b = bus_ft_debruijn(4, 2)
+        assert a.node_count == b.node_count
+        for i in range(a.bus_count):
+            assert list(a.bus_members(i)) == list(b.bus_members(i))
+
+    def test_bound_formula_at_m2(self):
+        for k in range(5):
+            assert bus_degree_bound_basem(2, k) == 2 * k + 3
+
+    @pytest.mark.parametrize("m,k", [(2, 1), (3, 1), (3, 3), (4, 2), (5, 1)])
+    def test_nearly_halves_p2p_degree(self, m, k):
+        # (m-1)(2k+1)+2 vs 4(m-1)k+2m: ratio approaches 2 as k grows
+        bus = bus_degree_bound_basem(m, k)
+        p2p = ft_degree_bound(m, k)
+        assert p2p / bus > 1.5
+
+    def test_bus_covers_successor_block(self):
+        m, h, k = 3, 3, 1
+        bg = bus_ft_debruijn_basem(m, h, k)
+        n = bg.node_count
+        window = [int(r) for r in ft_window(m, k)]
+        for i in range(n):
+            mem = set(map(int, bg.bus_members(i)))
+            succ = {(m * i + r) % n for r in window}
+            assert succ <= mem
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            bus_ft_debruijn_basem(1, 3, 1)
+        with pytest.raises(ParameterError):
+            bus_ft_debruijn_basem(3, 3, -1)
+        with pytest.raises(ParameterError):
+            bus_degree_bound_basem(1, 0)
+        with pytest.raises(ParameterError):
+            bus_degree_bound_basem(3, -1)
+
+
+class TestBaseMBusReconfiguration:
+    @pytest.mark.parametrize("fault", [0, 5, 13, 27])
+    def test_single_fault_drivable(self, fault):
+        """After any single fault, the remapped B_{3,3} drives over
+        healthy buses (the FIG5 property, base 3)."""
+        m, h, k = 3, 3, 1
+        bg = bus_ft_debruijn_basem(m, h, k)
+        target = debruijn(m, h)
+        phi = rank_remap(bg.node_count, [fault], target.node_count)
+        healthy = [b for b in range(bg.bus_count) if b != fault]
+        ok = verify_bus_embedding(
+            bg, target, phi,
+            healthy_buses=healthy,
+            directed_successors=debruijn_directed_successors(m, h),
+        )
+        assert ok
+
+    def test_bus_fault_owner_rule(self):
+        m, h, k = 3, 3, 1
+        bg = bus_ft_debruijn_basem(m, h, k)
+        induced = bg.nodes_faulted_by_bus_faults([7])
+        assert list(induced) == [7]

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBuild:
+    def test_debruijn(self, capsys):
+        assert main(["build", "debruijn", "--m", "2", "--h", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "16 nodes" in out
+
+    def test_ft(self, capsys):
+        assert main(["build", "ft", "--m", "2", "--h", "4", "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "17 nodes" in out and "degree bound 8" in out
+
+    def test_se(self, capsys):
+        assert main(["build", "se", "--h", "5"]) == 0
+        assert "32 nodes" in capsys.readouterr().out
+
+    def test_natural_ft_se(self, capsys):
+        assert main(["build", "natural-ft-se", "--h", "4", "--k", "2"]) == 0
+        assert "18 nodes" in capsys.readouterr().out
+
+    def test_sp(self, capsys):
+        assert main(["build", "sp", "--m", "2", "--h", "3", "--k", "1"]) == 0
+        assert "64 nodes" in capsys.readouterr().out
+
+    def test_bus(self, capsys):
+        assert main(["build", "bus", "--h", "3", "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "9 buses" in out and "2k+3 = 5" in out
+
+    def test_invalid_params_exit_code(self, capsys):
+        assert main(["build", "ft", "--h", "1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestVerify:
+    def test_exhaustive_debruijn(self, capsys):
+        assert main(["verify", "--m", "2", "--h", "3", "--k", "1"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_sampled(self, capsys):
+        assert main(["verify", "--h", "5", "--k", "2", "--samples", "20"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_se_target(self, capsys):
+        assert main(["verify", "--h", "3", "--k", "1", "--target", "se"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_se_requires_base2(self, capsys):
+        assert main(["verify", "--m", "3", "--h", "3", "--target", "se"]) == 2
+
+
+class TestRoute:
+    def test_route_no_faults(self, capsys):
+        assert main(["route", "0", "13", "--h", "4", "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "logical" in out and "physical" in out
+
+    def test_route_with_fault(self, capsys):
+        assert main(["route", "0", "13", "--h", "4", "--k", "2",
+                     "--fault", "5", "--fault", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "[5, 9]" in out
+
+
+class TestMisc:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "fails" in out and "OK" in out
+
+    def test_report_single(self, capsys):
+        assert main(["report", "FIG4"]) == 0
+        assert "Bus implementation" in capsys.readouterr().out
+
+    def test_no_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])

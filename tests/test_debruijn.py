@@ -1,0 +1,103 @@
+"""Tests for the de Bruijn target graphs (paper §III/§IV definitions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    debruijn,
+    debruijn_digit_definition,
+    debruijn_directed_successors,
+    node_count,
+)
+from repro.errors import ParameterError
+from repro.graphs import diameter, is_connected
+
+
+class TestDefinitionEquivalence:
+    """The paper: "It is easily verified that this definition of B_{m,h} is
+    equivalent to the previous definition."  Verified here."""
+
+    @pytest.mark.parametrize("m,h", [(2, 3), (2, 4), (2, 5), (3, 3), (4, 3), (5, 2), (3, 4)])
+    def test_affine_equals_digit_definition(self, m, h):
+        assert debruijn(m, h) == debruijn_digit_definition(m, h)
+
+
+class TestStructure:
+    def test_fig1_node_count(self):
+        # Fig. 1: the base-2 four-digit de Bruijn graph B_{2,4}
+        assert debruijn(2, 4).node_count == 16
+        assert node_count(2, 4) == 16
+
+    def test_fig1_adjacency_samples(self):
+        """Spot-check edges readable off the paper's Fig. 1: node x is
+        connected to 2x, 2x+1 (mod 16) and its halves."""
+        g = debruijn(2, 4)
+        assert g.has_edge(1, 2) and g.has_edge(1, 3)   # successors of 1
+        assert g.has_edge(1, 8)                         # 1 = X(8,2,1): 8*2+1 = 17 = 1 mod 16
+        assert g.has_edge(0, 1)                         # 1 = 2*0+1
+        assert g.has_edge(15, 14)                       # 14 = 2*15 mod 16
+        assert not g.has_edge(0, 5)
+
+    def test_degree_at_most_2m(self):
+        for m, h in [(2, 3), (2, 6), (3, 3), (4, 3)]:
+            assert debruijn(m, h).max_degree() <= 2 * m
+
+    def test_self_loop_nodes_have_reduced_degree(self):
+        # 0 and 2^h - 1 carry self-loops in the formal definition; dropping
+        # them leaves those nodes with degree <= 2m - 2 = 2.
+        g = debruijn(2, 4)
+        assert g.degree(0) <= 2
+        assert g.degree(15) <= 2
+
+    def test_connected(self):
+        for m, h in [(2, 3), (2, 7), (3, 3)]:
+            assert is_connected(debruijn(m, h))
+
+    def test_diameter_is_h(self):
+        # classic de Bruijn property: diameter exactly h
+        for m, h in [(2, 3), (2, 4), (2, 5), (3, 3)]:
+            assert diameter(debruijn(m, h)) == h
+
+    def test_edge_count_formula(self):
+        # m^{h+1} directed arcs; undirected simple edges after removing
+        # m self-loops and collapsing 2-cycles.  Sanity: between
+        # (m^{h+1} - m)/2 and m^{h+1} - m.
+        for m, h in [(2, 4), (3, 3)]:
+            g = debruijn(m, h)
+            arcs = m ** (h + 1) - m
+            assert arcs / 2 <= g.edge_count <= arcs
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            debruijn(1, 3)
+        with pytest.raises(ParameterError):
+            debruijn(2, 0)
+
+
+class TestDirectedSuccessors:
+    def test_shape_and_formula(self):
+        s = debruijn_directed_successors(2, 4)
+        assert s.shape == (16, 2)
+        for x in range(16):
+            assert s[x, 0] == (2 * x) % 16
+            assert s[x, 1] == (2 * x + 1) % 16
+
+    def test_basem(self):
+        s = debruijn_directed_successors(3, 3)
+        assert s.shape == (27, 3)
+        assert s[26, 2] == 26  # self-loop of the all-2 string
+
+    def test_every_arc_is_an_edge(self):
+        g = debruijn(2, 5)
+        s = debruijn_directed_successors(2, 5)
+        for x in range(32):
+            for y in s[x]:
+                if int(y) != x:
+                    assert g.has_edge(x, int(y))
+
+    def test_each_node_has_m_predecessors(self):
+        s = debruijn_directed_successors(3, 3)
+        counts = np.bincount(s.reshape(-1), minlength=27)
+        assert (counts == 3).all()

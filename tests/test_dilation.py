@@ -1,0 +1,47 @@
+"""Tests for the dilation analysis (DIL experiment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import DilationProfile, dilation_profile
+
+
+class TestDilationProfile:
+    def test_reconfigured_machine_has_zero_dilation(self):
+        rec, det = dilation_profile(4, 1, [5])
+        assert rec.mean_dilation == 0.0
+        assert rec.max_dilation == 0
+        assert rec.unreachable == 0
+        assert rec.histogram == {0: rec.pairs}
+
+    def test_bare_machine_loses_pairs(self):
+        rec, det = dilation_profile(4, 2, [5, 11])
+        assert det.unreachable > 0
+
+    def test_bare_machine_stretches_routes(self):
+        # faults {0, 2} force detours: max dilation 2 at h=4
+        rec, det = dilation_profile(4, 2, [0, 2])
+        assert det.max_dilation >= 2
+        assert rec.max_dilation == 0
+
+    def test_pair_counts_match(self):
+        rec, det = dilation_profile(4, 1, [3])
+        n = 16
+        assert rec.pairs == det.pairs == n * (n - 1)
+
+    def test_spare_only_fault_costs_bare_machine_nothing(self):
+        """A fault on a spare node (id >= 2^h) has no bare counterpart."""
+        rec, det = dilation_profile(4, 1, [16])
+        assert det.unreachable == 0
+        assert rec.mean_dilation == 0.0
+
+    def test_row_rendering(self):
+        p = DilationProfile("x", 10, 2, {0: 6, 1: 2})
+        row = p.row()
+        assert row["mean_dilation"] == 0.25
+        assert row["max_dilation"] == 1
+
+    def test_empty_histogram(self):
+        p = DilationProfile("x", 0, 0, {})
+        assert p.mean_dilation == 0.0 and p.max_dilation == 0

@@ -1,0 +1,112 @@
+"""Tests for edge-fault reduction (§I: treat an incident node as faulty)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    debruijn,
+    edge_faults_to_node_faults,
+    ft_debruijn,
+    minimum_cover_nodes,
+    reconfigure_with_edge_faults,
+)
+from repro.errors import FaultSetError
+from repro.graphs import verify_embedding
+
+
+class TestMinimumCover:
+    def test_empty(self):
+        assert minimum_cover_nodes([]) == []
+
+    def test_single_edge(self):
+        assert len(minimum_cover_nodes([(0, 1)])) == 1
+
+    def test_path_shares_middle(self):
+        assert minimum_cover_nodes([(0, 1), (1, 2)]) == [1]
+
+    def test_star_uses_center(self):
+        assert minimum_cover_nodes([(5, 1), (5, 2), (5, 3)]) == [5]
+
+    def test_disjoint_edges_cost_two(self):
+        cover = minimum_cover_nodes([(0, 1), (2, 3)])
+        assert len(cover) == 2
+
+    def test_triangle_costs_two(self):
+        cover = minimum_cover_nodes([(0, 1), (1, 2), (2, 0)])
+        assert len(cover) == 2
+
+    def test_self_loops_ignored(self):
+        assert minimum_cover_nodes([(3, 3)]) == []
+
+
+class TestEdgeFaultReduction:
+    def test_single_edge_fault(self):
+        ft = ft_debruijn(2, 3, 1)
+        e = next(ft.iter_edges())
+        eff = edge_faults_to_node_faults(ft, [e])
+        assert eff.size == 1
+        assert eff[0] in e
+
+    def test_covered_by_existing_node_fault(self):
+        ft = ft_debruijn(2, 3, 2)
+        e = next(ft.iter_edges())
+        eff = edge_faults_to_node_faults(ft, [e], node_faults=[e[0]])
+        assert list(eff) == [e[0]]  # no extra cost
+
+    def test_nonexistent_edge_rejected(self):
+        ft = ft_debruijn(2, 3, 1)
+        assert not ft.has_edge(0, 3)
+        with pytest.raises(FaultSetError):
+            edge_faults_to_node_faults(ft, [(0, 3)])
+
+    def test_reconfigure_with_edge_faults(self):
+        h, k = 4, 2
+        ft = ft_debruijn(2, h, k)
+        target = debruijn(2, h)
+        # two edge faults sharing a node cost one spare
+        shared = [(6, 12), (6, 13)]  # successors of 6: 2*6-2..2*6+3
+        for u, v in shared:
+            assert ft.has_edge(u, v)
+        phi, eff = reconfigure_with_edge_faults(ft, target.node_count, shared)
+        assert list(eff) == [6]
+        assert verify_embedding(target, ft, phi)
+        assert 6 not in phi
+
+    def test_budget_exceeded(self):
+        h, k = 3, 1
+        ft = ft_debruijn(2, h, k)
+        edges = list(ft.iter_edges())
+        # two disjoint edge faults need 2 nodes > k=1
+        e1 = edges[0]
+        e2 = next(e for e in edges if e[0] not in e1 and e[1] not in e1)
+        with pytest.raises(FaultSetError):
+            reconfigure_with_edge_faults(ft, 8, [e1, e2])
+
+    def test_embedding_avoids_faulty_edges(self):
+        """The §I guarantee: the reconfigured target never uses a faulty
+        edge (its covering endpoint is out of the image entirely)."""
+        h, k = 4, 1
+        ft = ft_debruijn(2, h, k)
+        target = debruijn(2, h)
+        fault_edge = (3, 7)
+        assert ft.has_edge(*fault_edge)
+        phi, eff = reconfigure_with_edge_faults(ft, target.node_count, [fault_edge])
+        cover = int(eff[0])
+        used = set(map(int, phi))
+        assert cover not in used
+        # hence no embedded edge can be the faulty one
+        e = target.edges()
+        for u, v in zip(phi[e[:, 0]], phi[e[:, 1]]):
+            assert {int(u), int(v)} != set(fault_edge)
+
+    def test_mixed_node_and_edge_faults(self):
+        h, k = 4, 3
+        ft = ft_debruijn(2, h, k)
+        target = debruijn(2, h)
+        phi, eff = reconfigure_with_edge_faults(
+            ft, target.node_count, [(6, 12)], node_faults=[1]
+        )
+        assert 1 in eff and eff.size == 2
+        assert verify_embedding(target, ft, phi)

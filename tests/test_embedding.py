@@ -1,0 +1,86 @@
+"""Tests for the Embedding certificate object."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Embedding, debruijn, ft_debruijn, identity_embedding
+from repro.errors import EmbeddingError
+from repro.graphs import StaticGraph, cycle, complete
+
+
+class TestEmbedding:
+    def test_valid_embedding_constructs(self):
+        emb = Embedding(cycle(3), complete(4), np.array([0, 1, 2]))
+        assert emb(0) == 0 and emb(2) == 2
+
+    def test_invalid_raises_at_construction(self):
+        with pytest.raises(EmbeddingError):
+            Embedding(cycle(4), StaticGraph(4, [(0, 1), (1, 2)]), np.arange(4))
+
+    def test_image_nodes(self):
+        emb = Embedding(cycle(3), complete(5), np.array([4, 0, 2]))
+        assert list(emb.image_nodes()) == [0, 2, 4]
+
+    def test_image_graph(self):
+        emb = Embedding(cycle(3), complete(5), np.array([4, 0, 2]))
+        img = emb.image_graph()
+        assert img.node_count == 5
+        assert img.edge_count == 3
+        assert img.has_edge(4, 0) and img.has_edge(0, 2) and img.has_edge(2, 4)
+
+    def test_used_host_edge_fraction(self):
+        emb = Embedding(cycle(3), complete(4), np.array([0, 1, 2]))
+        assert emb.used_host_edge_fraction() == pytest.approx(3 / 6)
+
+    def test_empty_host_fraction(self):
+        emb = Embedding(StaticGraph(2), StaticGraph(3), np.array([0, 1]))
+        assert emb.used_host_edge_fraction() == 0.0
+
+    def test_identity_embedding(self):
+        g = debruijn(2, 3)
+        emb = identity_embedding(g, g)
+        assert emb.used_host_edge_fraction() == 1.0
+
+    def test_identity_embedding_fails_on_non_subgraph(self):
+        with pytest.raises(EmbeddingError):
+            identity_embedding(complete(4), cycle(4))
+
+
+class TestComposition:
+    def test_compose_chain(self):
+        """C3 ⊆ K4 ⊆ K6 composes to C3 ⊆ K6."""
+        inner = Embedding(cycle(3), complete(4), np.array([1, 2, 3]))
+        outer = Embedding(complete(4), complete(6), np.array([5, 4, 3, 2]))
+        composed = inner.compose(outer)
+        assert composed.pattern is inner.pattern
+        assert composed.host is outer.host
+        assert [composed(v) for v in range(3)] == [4, 3, 2]
+
+    def test_compose_the_paper_chain(self):
+        """SE_h ⊆ B_{2,h} composed with B_{2,h} -> survivors of B^k_{2,h}
+        (the §I argument for the FT shuffle-exchange)."""
+        from repro.core import embed_se_in_debruijn, embed_after_faults, shuffle_exchange
+
+        h, k = 3, 1
+        inner = embed_se_in_debruijn(h)
+        ft = ft_debruijn(2, h, k)
+        phi = embed_after_faults(ft, debruijn(2, h), faults=[2])
+        outer = Embedding(debruijn(2, h), ft, phi)
+        composed = inner.compose(outer)
+        assert composed.host is ft
+        assert 2 not in set(map(int, composed.image_nodes()))
+
+    def test_compose_size_mismatch(self):
+        inner = Embedding(cycle(3), complete(4), np.array([0, 1, 2]))
+        outer = Embedding(complete(5), complete(6), np.arange(5))
+        with pytest.raises(EmbeddingError):
+            inner.compose(outer)
+
+    def test_compose_interface_mismatch(self):
+        # inner host K4 has edges the outer pattern C4 lacks
+        inner = Embedding(cycle(3), complete(4), np.array([0, 1, 2]))
+        outer = Embedding(cycle(4), complete(6), np.arange(4))
+        with pytest.raises(EmbeddingError):
+            inner.compose(outer)

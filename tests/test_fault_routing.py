@@ -1,0 +1,112 @@
+"""Tests for reconfigured routing vs. naive detours."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import debruijn
+from repro.errors import FaultSetError, RoutingError
+from repro.routing import ReconfiguredRouter, detour_route, survivor_graph
+from repro.routing.shift_register import route_length
+
+
+class TestReconfiguredRouter:
+    def test_fault_free_routes(self):
+        r = ReconfiguredRouter(2, 4, 2)
+        p = r.physical_route(0, 13)
+        assert p[0] == 0 and p[-1] == 13
+
+    def test_routes_avoid_faults(self):
+        r = ReconfiguredRouter(2, 4, 2)
+        r.fail_node(3)
+        r.fail_node(9)
+        for s in range(16):
+            for d in range(0, 16, 3):
+                p = r.physical_route(s, d)
+                assert 3 not in p and 9 not in p
+
+    def test_zero_dilation(self):
+        """Reconfiguration adds no hops: lifted length == logical length."""
+        r = ReconfiguredRouter(2, 4, 1)
+        r.fail_node(7)
+        for s in (0, 5, 12):
+            for d in (1, 9, 15):
+                assert r.route_length(s, d) == route_length(s, d, 2, 4)
+
+    def test_repair(self):
+        r = ReconfiguredRouter(2, 3, 1)
+        r.fail_node(2)
+        assert 2 not in r.physical_route(0, 7)
+        r.repair_node(2)
+        assert r.physical_route(2, 2) == [2]
+
+    def test_budget_enforced(self):
+        r = ReconfiguredRouter(2, 3, 1)
+        r.fail_node(0)
+        with pytest.raises(FaultSetError):
+            r.fail_node(1)
+
+    def test_basem(self):
+        r = ReconfiguredRouter(3, 3, 2)
+        r.fail_node(10)
+        p = r.physical_route(0, 26)
+        assert 10 not in p and p[-1] == r.reconfigurator.phi()[26]
+
+
+class TestDetourRoute:
+    def test_no_faults_is_shortest(self):
+        g = debruijn(2, 4)
+        p = detour_route(g, [], 0, 9)
+        from repro.graphs.properties import bfs_distances
+
+        assert len(p) - 1 == bfs_distances(g, 0)[9]
+
+    def test_detour_avoids_faults(self):
+        g = debruijn(2, 4)
+        p = detour_route(g, [2, 3], 0, 9)
+        assert 2 not in p and 3 not in p
+
+    def test_faulty_endpoint_rejected(self):
+        g = debruijn(2, 3)
+        with pytest.raises(RoutingError):
+            detour_route(g, [5], 5, 0)
+        with pytest.raises(RoutingError):
+            detour_route(g, [0], 5, 0)
+
+    def test_detours_stretch_paths(self):
+        """Degradation: some pairs must take longer routes after faults
+        (compare against the fault-free distance)."""
+        g = debruijn(2, 4)
+        from repro.graphs.properties import distance_matrix
+
+        d0 = distance_matrix(g)
+        faults = [1, 2]
+        stretched = 0
+        for s in range(16):
+            if s in faults:
+                continue
+            for t in range(16):
+                if t in faults or t == s:
+                    continue
+                try:
+                    p = detour_route(g, faults, s, t)
+                    if len(p) - 1 > d0[s, t]:
+                        stretched += 1
+                except RoutingError:
+                    stretched += 1
+        assert stretched > 0
+
+    def test_disconnection_detected(self):
+        """Removing both neighbors of a degree-2 node isolates it."""
+        g = debruijn(2, 3)
+        nbrs = [int(v) for v in g.neighbors(0)]
+        assert len(nbrs) == 2
+        with pytest.raises(RoutingError):
+            detour_route(g, nbrs, 0, 5)
+
+    def test_survivor_graph(self):
+        g = debruijn(2, 3)
+        sub, kept = survivor_graph(g, [0, 7])
+        assert sub.node_count == 6
+        assert 0 not in kept and 7 not in kept

@@ -1,0 +1,122 @@
+"""Unit tests for the bus hypergraph kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, ParameterError
+from repro.graphs import BusHypergraph
+
+
+@pytest.fixture
+def small_bus():
+    """3 buses over 5 nodes with owners 0, 1, 4."""
+    return BusHypergraph(
+        5,
+        [[0, 1, 2], [1, 3], [4, 0, 2]],
+        owners=[0, 1, 4],
+    )
+
+
+class TestConstruction:
+    def test_counts(self, small_bus):
+        assert small_bus.node_count == 5
+        assert small_bus.bus_count == 3
+
+    def test_members_sorted_unique(self):
+        bg = BusHypergraph(4, [[3, 1, 1, 0]])
+        assert list(bg.bus_members(0)) == [0, 1, 3]
+
+    def test_member_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            BusHypergraph(3, [[0, 5]])
+
+    def test_negative_nodes(self):
+        with pytest.raises(ParameterError):
+            BusHypergraph(-1, [])
+
+    def test_owner_must_be_member(self):
+        with pytest.raises(GraphFormatError):
+            BusHypergraph(4, [[0, 1]], owners=[2])
+
+    def test_owner_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            BusHypergraph(4, [[0, 1]], owners=[9])
+
+    def test_owner_length_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            BusHypergraph(4, [[0, 1]], owners=[0, 1])
+
+    def test_no_owners(self):
+        bg = BusHypergraph(3, [[0, 1, 2]])
+        assert bg.owners is None
+
+
+class TestIncidence:
+    def test_buses_of(self, small_bus):
+        assert list(small_bus.buses_of(0)) == [0, 2]
+        assert list(small_bus.buses_of(1)) == [0, 1]
+        assert list(small_bus.buses_of(3)) == [1]
+
+    def test_bus_degree(self, small_bus):
+        assert small_bus.bus_degree(2) == 2
+        assert small_bus.max_bus_degree() == 2
+        assert list(small_bus.bus_degrees()) == [2, 2, 2, 1, 1]
+
+    def test_bus_size(self, small_bus):
+        assert small_bus.bus_size(0) == 3
+        assert small_bus.bus_size(1) == 2
+
+    def test_range_checks(self, small_bus):
+        with pytest.raises(GraphFormatError):
+            small_bus.bus_members(7)
+        with pytest.raises(GraphFormatError):
+            small_bus.buses_of(9)
+        with pytest.raises(GraphFormatError):
+            small_bus.bus_degree(-1)
+        with pytest.raises(GraphFormatError):
+            small_bus.bus_size(3)
+
+
+class TestSemantics:
+    def test_connectivity_graph(self, small_bus):
+        g = small_bus.connectivity_graph()
+        assert g.has_edge(0, 1) and g.has_edge(0, 2) and g.has_edge(1, 2)
+        assert g.has_edge(1, 3)
+        assert g.has_edge(0, 4) and g.has_edge(2, 4)
+        assert not g.has_edge(3, 4)
+
+    def test_owner_star_graph(self, small_bus):
+        g = small_bus.owner_star_graph()
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)  # bus 0 star
+        assert g.has_edge(1, 3)
+        assert g.has_edge(4, 0) and g.has_edge(4, 2)
+        # star omits non-owner pairs: bus 0's (1,2) edge
+        assert not g.has_edge(1, 2)
+
+    def test_owner_star_requires_owners(self):
+        bg = BusHypergraph(3, [[0, 1, 2]])
+        with pytest.raises(GraphFormatError):
+            bg.owner_star_graph()
+
+    def test_bus_fault_rule(self, small_bus):
+        faulted = small_bus.nodes_faulted_by_bus_faults([0, 2])
+        assert list(faulted) == [0, 4]
+
+    def test_bus_fault_rule_empty(self, small_bus):
+        assert small_bus.nodes_faulted_by_bus_faults([]).size == 0
+
+    def test_bus_fault_rule_requires_owners(self):
+        bg = BusHypergraph(3, [[0, 1, 2]])
+        with pytest.raises(GraphFormatError):
+            bg.nodes_faulted_by_bus_faults([0])
+
+    def test_bus_fault_rule_range(self, small_bus):
+        with pytest.raises(GraphFormatError):
+            small_bus.nodes_faulted_by_bus_faults([9])
+
+    def test_empty_hypergraph(self):
+        bg = BusHypergraph(0, [])
+        assert bg.max_bus_degree() == 0
+        assert bg.connectivity_graph().node_count == 0

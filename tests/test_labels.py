@@ -1,0 +1,184 @@
+"""Unit + property tests for digit-string labels (paper Section II)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import (
+    exchange,
+    format_label,
+    from_digits,
+    necklace_of,
+    necklaces,
+    rank,
+    rank_array,
+    rotate_left,
+    rotate_right,
+    to_digits,
+    weight,
+)
+from repro.errors import ParameterError
+
+
+class TestDigits:
+    def test_to_digits_scalar(self):
+        assert list(to_digits(6, 2, 4)) == [0, 1, 1, 0]
+        assert list(to_digits(25, 3, 3)) == [2, 2, 1]
+
+    def test_to_digits_array(self):
+        d = to_digits(np.array([0, 5, 15]), 2, 4)
+        assert d.shape == (3, 4)
+        assert list(d[1]) == [0, 1, 0, 1]
+
+    def test_from_digits_roundtrip(self):
+        for x in range(81):
+            assert from_digits(to_digits(x, 3, 4), 3) == x
+
+    def test_from_digits_array(self):
+        d = to_digits(np.arange(16), 2, 4)
+        assert list(from_digits(d, 2)) == list(range(16))
+
+    def test_out_of_range_value(self):
+        with pytest.raises(ParameterError):
+            to_digits(16, 2, 4)
+        with pytest.raises(ParameterError):
+            to_digits(-1, 2, 4)
+
+    def test_bad_digit(self):
+        with pytest.raises(ParameterError):
+            from_digits([0, 2], 2)
+
+    def test_bad_base(self):
+        with pytest.raises(ParameterError):
+            to_digits(0, 1, 3)
+
+    def test_format_label(self):
+        assert format_label(6, 2, 4) == "[0,1,1,0]_2"
+        assert format_label(5, 3, 3) == "[0,1,2]_3"
+
+
+class TestRank:
+    def test_paper_examples(self):
+        # Rank(min(S), S) = 0 and Rank(max(S), S) = |S| - 1  (Section II)
+        s = [4, 9, 2, 7]
+        assert rank(2, s) == 0
+        assert rank(9, s) == len(s) - 1
+
+    def test_middle(self):
+        assert rank(5, [1, 3, 5, 9]) == 2
+
+    def test_not_member(self):
+        with pytest.raises(ParameterError):
+            rank(6, [1, 3, 5])
+
+    def test_rank_array(self):
+        s = np.array([10, 20, 30, 40])
+        assert list(rank_array(np.array([20, 40, 10]), s)) == [1, 3, 0]
+
+    def test_rank_array_not_member(self):
+        with pytest.raises(ParameterError):
+            rank_array(np.array([15]), np.array([10, 20]))
+
+    def test_rank_array_too_large(self):
+        with pytest.raises(ParameterError):
+            rank_array(np.array([50]), np.array([10, 20]))
+
+
+class TestRotations:
+    def test_rotate_left_binary(self):
+        # [0,0,1,1] -> [0,1,1,0]
+        assert rotate_left(0b0011, 2, 4) == 0b0110
+        assert rotate_left(0b1000, 2, 4) == 0b0001
+
+    def test_rotate_right_binary(self):
+        assert rotate_right(0b0011, 2, 4) == 0b1001
+
+    def test_rotate_inverse(self):
+        for x in range(16):
+            assert rotate_right(rotate_left(x, 2, 4), 2, 4) == x
+
+    def test_rotate_base3(self):
+        # [1,2,0]_3 = 15 -> left -> [2,0,1]_3 = 19
+        assert rotate_left(15, 3, 3) == 19
+
+    def test_full_rotation_is_identity(self):
+        for x in range(27):
+            assert rotate_left(x, 3, 3, steps=3) == x
+
+    def test_rotate_array(self):
+        xs = np.arange(8)
+        out = rotate_left(xs, 2, 3)
+        assert isinstance(out, np.ndarray)
+        for x, y in zip(xs, out):
+            assert rotate_left(int(x), 2, 3) == int(y)
+
+    def test_out_of_range(self):
+        with pytest.raises(ParameterError):
+            rotate_left(8, 2, 3)
+
+    @given(
+        x=st.integers(min_value=0, max_value=2**10 - 1),
+        s=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rotation_group_property(self, x, s):
+        # rot^s then rot^{-s} is the identity for any step count
+        y = rotate_left(x, 2, 10, steps=s)
+        assert rotate_right(y, 2, 10, steps=s) == x
+
+
+class TestExchangeWeight:
+    def test_exchange_base2_is_xor1(self):
+        for x in range(16):
+            assert exchange(x) == x ^ 1
+
+    def test_exchange_base3(self):
+        assert exchange(5, 3) == 3  # low digit 2 -> 0
+        assert exchange(3, 3) == 4
+
+    def test_exchange_involution_base2(self):
+        for x in range(32):
+            assert exchange(exchange(x)) == x
+
+    def test_weight_binary(self):
+        assert weight(0b1011, 2, 4) == 3
+        assert weight(0, 2, 4) == 0
+
+    def test_weight_base3(self):
+        assert weight(from_digits([2, 1, 2], 3), 3, 3) == 5
+
+    @given(x=st.integers(min_value=0, max_value=2**8 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_rotation_preserves_weight(self, x):
+        # the fact that makes the psi embedding's parity classes well-defined
+        assert weight(rotate_left(x, 2, 8), 2, 8) == weight(x, 2, 8)
+
+    @given(x=st.integers(min_value=0, max_value=2**8 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_exchange_flips_parity(self, x):
+        # endpoints of an exchange edge always lie in different parity classes
+        assert (weight(x, 2, 8) + weight(x ^ 1, 2, 8)) % 2 == 1
+
+
+class TestNecklaces:
+    def test_necklace_of(self):
+        assert necklace_of(1, 2, 3) == (1, 2, 4)
+        assert necklace_of(0, 2, 3) == (0,)
+        assert necklace_of(7, 2, 3) == (7,)
+
+    def test_necklaces_partition(self):
+        ns = necklaces(2, 4)
+        flat = [x for neck in ns for x in neck]
+        assert sorted(flat) == list(range(16))
+
+    def test_necklace_count_base2_h4(self):
+        # number of binary necklaces of length 4 is 6
+        assert len(necklaces(2, 4)) == 6
+
+    def test_necklace_weight_constant(self):
+        for neck in necklaces(2, 5):
+            ws = {weight(x, 2, 5) for x in neck}
+            assert len(ws) == 1

@@ -1,0 +1,172 @@
+"""Tests for the reconfiguration algorithm (paper §III.A) and Lemma 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Reconfigurator, debruijn, rank_remap
+from repro.errors import FaultSetError
+
+
+class TestRankRemap:
+    def test_no_faults_is_identity_prefix(self):
+        assert list(rank_remap(10, [], 8)) == list(range(8))
+
+    def test_paper_semantics(self):
+        # node x maps to the (x+1)-st nonfaulty node
+        phi = rank_remap(6, [2], 5)
+        assert list(phi) == [0, 1, 3, 4, 5]
+
+    def test_node0_maps_to_first_nonfaulty(self):
+        phi = rank_remap(8, [0, 1], 6)
+        assert phi[0] == 2
+
+    def test_last_node_maps_to_last_nonfaulty(self):
+        # "node 2^h - 1 is mapped to the last nonfaulty node"
+        phi = rank_remap(17, [16], 16)
+        assert phi[15] == 15
+        phi = rank_remap(17, [3], 16)
+        assert phi[15] == 16
+
+    def test_too_many_faults(self):
+        with pytest.raises(FaultSetError):
+            rank_remap(6, [0, 1], 5)
+
+    def test_fault_out_of_range(self):
+        with pytest.raises(FaultSetError):
+            rank_remap(6, [9], 5)
+
+    def test_duplicate_faults_collapse(self):
+        assert list(rank_remap(6, [2, 2], 5)) == [0, 1, 3, 4, 5]
+
+    @given(
+        k=st.integers(min_value=0, max_value=5),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lemma1_monotone_offsets(self, k, seed):
+        """Lemma 1 (executable): delta_x = phi(x) - x is non-decreasing,
+        and 0 <= delta_x <= k."""
+        n, total = 32, 32 + k
+        rng = np.random.default_rng(seed)
+        faults = rng.choice(total, size=k, replace=False)
+        phi = rank_remap(total, faults, n)
+        delta = phi - np.arange(n)
+        assert (np.diff(delta) >= 0).all()
+        assert delta.min() >= 0 and delta.max() <= k
+
+    @given(
+        k=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_phi_strictly_monotone_and_avoids_faults(self, k, seed):
+        n, total = 16, 16 + k
+        rng = np.random.default_rng(seed)
+        faults = set(map(int, rng.choice(total, size=k, replace=False)))
+        phi = rank_remap(total, sorted(faults), n)
+        assert (np.diff(phi) > 0).all()
+        assert not faults.intersection(map(int, phi))
+
+
+class TestReconfigurator:
+    def test_budget(self):
+        r = Reconfigurator(18, 16)
+        assert r.spare_budget == 2
+
+    def test_fail_and_repair(self):
+        r = Reconfigurator(17, 16)
+        r.fail_node(5)
+        assert r.faults == (5,)
+        assert r.phi()[5] == 6
+        r.repair_node(5)
+        assert r.faults == ()
+        assert r.phi()[5] == 5
+
+    def test_fail_twice_rejected(self):
+        r = Reconfigurator(17, 16)
+        r.fail_node(5)
+        with pytest.raises(FaultSetError):
+            r.fail_node(5)
+
+    def test_budget_exhaustion(self):
+        r = Reconfigurator(17, 16)
+        r.fail_node(0)
+        with pytest.raises(FaultSetError):
+            r.fail_node(1)
+
+    def test_repair_unfailed_rejected(self):
+        r = Reconfigurator(17, 16)
+        with pytest.raises(FaultSetError):
+            r.repair_node(3)
+
+    def test_out_of_range(self):
+        r = Reconfigurator(17, 16)
+        with pytest.raises(FaultSetError):
+            r.fail_node(17)
+
+    def test_set_faults_bulk(self):
+        r = Reconfigurator(20, 16)
+        r.set_faults([1, 3, 19])
+        assert r.faults == (1, 3, 19)
+        with pytest.raises(FaultSetError):
+            r.set_faults([0, 1, 2, 3, 4])
+
+    def test_invalid_sizes(self):
+        with pytest.raises(FaultSetError):
+            Reconfigurator(5, 6)
+
+    def test_incremental_matches_scratch(self, rng):
+        """Incremental fail/repair always agrees with a fresh rank_remap."""
+        r = Reconfigurator(40, 32)
+        state: set[int] = set()
+        for _ in range(60):
+            if state and rng.random() < 0.4:
+                v = int(rng.choice(sorted(state)))
+                r.repair_node(v)
+                state.remove(v)
+            elif len(state) < 8:
+                v = int(rng.integers(0, 40))
+                if v not in state:
+                    r.fail_node(v)
+                    state.add(v)
+            assert list(r.phi()) == list(rank_remap(40, sorted(state), 32))
+
+    def test_delta_properties(self):
+        r = Reconfigurator(20, 16)
+        r.set_faults([0, 7, 13, 19])
+        d = r.delta()
+        assert (np.diff(d) >= 0).all()
+        assert d.min() >= 0 and d.max() <= 4
+
+    def test_inverse_phi(self):
+        r = Reconfigurator(17, 16)
+        r.fail_node(3)
+        inv = r.inverse_phi()
+        assert inv[3] == -1
+        phi = r.phi()
+        for x in range(16):
+            assert inv[phi[x]] == x
+
+    def test_logical_of(self):
+        r = Reconfigurator(17, 16)
+        r.fail_node(0)
+        assert r.logical_of(0) is None
+        assert r.logical_of(1) == 0
+
+    def test_embed_target(self):
+        g = debruijn(2, 4)
+        r = Reconfigurator(17, 16)
+        r.fail_node(4)
+        used = r.embed_target(g)
+        assert used.node_count == 17
+        assert used.degree(4) == 0  # faulty node hosts nothing
+        assert used.edge_count == g.edge_count
+
+    def test_embed_target_size_mismatch(self):
+        r = Reconfigurator(17, 16)
+        with pytest.raises(FaultSetError):
+            r.embed_target(debruijn(2, 3))

@@ -1,0 +1,148 @@
+"""Tests for shift-register routing, BFS paths, and routing tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import debruijn
+from repro.errors import ParameterError, RoutingError
+from repro.graphs import StaticGraph, cycle, path
+from repro.graphs.properties import distance_matrix
+from repro.routing import (
+    bfs_parents,
+    compile_routing_table,
+    eccentricity,
+    extract_path,
+    overlap_length,
+    route_length,
+    route_length_matrix,
+    shift_route,
+    shortest_path,
+    table_path,
+    validate_routing_table,
+)
+
+
+class TestShiftRegisterRouting:
+    def test_overlap_examples(self):
+        assert overlap_length(0b0111, 0b1110, 2, 4) == 3
+        assert overlap_length(0b0000, 0b0000, 2, 4) == 4
+        assert overlap_length(0b1010, 0b0101, 2, 4) == 3
+        assert overlap_length(0b1111, 0b0000, 2, 4) == 0
+
+    def test_route_structure(self):
+        r = shift_route(0, 5, 2, 3)
+        assert r[0] == 0 and r[-1] == 5
+        # every hop is a directed de Bruijn arc
+        for a, b in zip(r, r[1:]):
+            assert b in ((2 * a) % 8, (2 * a + 1) % 8)
+
+    def test_route_to_self(self):
+        assert shift_route(5, 5, 2, 4) == [5]
+
+    def test_route_length_at_most_h(self):
+        for m, h in [(2, 4), (3, 3)]:
+            n = m ** h
+            for x in range(0, n, 3):
+                for y in range(0, n, 5):
+                    assert route_length(x, y, m, h) <= h
+
+    def test_all_routes_are_graph_walks(self):
+        g = debruijn(2, 4)
+        for x in range(16):
+            for y in range(16):
+                r = shift_route(x, y, 2, 4)
+                for a, b in zip(r, r[1:]):
+                    if a != b:
+                        assert g.has_edge(a, b)
+
+    def test_basem_routes(self):
+        g = debruijn(3, 3)
+        for x in (0, 13, 26):
+            for y in (5, 20):
+                r = shift_route(x, y, 3, 3)
+                assert r[-1] == y
+                for a, b in zip(r, r[1:]):
+                    if a != b:
+                        assert g.has_edge(a, b)
+
+    def test_route_length_matrix_vs_bfs(self):
+        """Shift routes are an upper bound on true distances."""
+        m, h = 2, 4
+        rl = route_length_matrix(m, h)
+        d = distance_matrix(debruijn(m, h))
+        assert (rl >= d).all()
+        assert rl.max() == h
+
+    def test_endpoint_validation(self):
+        with pytest.raises(ParameterError):
+            shift_route(0, 99, 2, 4)
+
+
+class TestBFSPaths:
+    def test_parents_and_path(self):
+        g = path(5)
+        par = bfs_parents(g, 0)
+        assert extract_path(par, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_shortest_path_cycle(self):
+        g = cycle(8)
+        p = shortest_path(g, 0, 3)
+        assert p[0] == 0 and p[-1] == 3 and len(p) == 4
+
+    def test_self_path(self, triangle):
+        assert shortest_path(triangle, 1, 1) == [1]
+
+    def test_unreachable(self):
+        g = StaticGraph(4, [(0, 1)])
+        with pytest.raises(RoutingError):
+            shortest_path(g, 0, 3)
+
+    def test_eccentricity(self):
+        assert eccentricity(path(5), 0) == 4
+        assert eccentricity(cycle(8), 0) == 4
+
+    def test_eccentricity_disconnected(self):
+        with pytest.raises(RoutingError):
+            eccentricity(StaticGraph(3, [(0, 1)]), 0)
+
+
+class TestRoutingTables:
+    def test_compile_and_validate(self):
+        g = debruijn(2, 3)
+        t = compile_routing_table(g)
+        assert validate_routing_table(g, t)
+
+    def test_paths_are_hop_optimal(self):
+        g = debruijn(2, 4)
+        t = compile_routing_table(g)
+        d = distance_matrix(g)
+        for s in range(0, 16, 3):
+            for dd in range(0, 16, 5):
+                p = table_path(t, s, dd)
+                assert len(p) - 1 == d[s, dd]
+
+    def test_table_self_entries(self):
+        g = cycle(5)
+        t = compile_routing_table(g)
+        for v in range(5):
+            assert t[v, v] == v
+
+    def test_disconnected_marked(self):
+        g = StaticGraph(4, [(0, 1), (2, 3)])
+        t = compile_routing_table(g)
+        assert t[0, 3] == -1
+        with pytest.raises(RoutingError):
+            table_path(t, 0, 3)
+
+    def test_bad_table_shape(self):
+        g = cycle(5)
+        with pytest.raises(RoutingError):
+            validate_routing_table(g, np.zeros((3, 3), dtype=np.int64))
+
+    def test_corrupt_table_detected(self):
+        g = cycle(6)
+        t = compile_routing_table(g)
+        t[0, 3] = 4  # 4 is not adjacent to 0
+        assert not validate_routing_table(g, t)

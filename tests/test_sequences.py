@@ -1,0 +1,89 @@
+"""Tests for de Bruijn sequences, Hamiltonian cycles, line-digraph identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    de_bruijn_sequence,
+    debruijn,
+    hamiltonian_cycle,
+    is_de_bruijn_sequence,
+    line_digraph_arcs,
+)
+from repro.core.debruijn import debruijn_directed_successors
+from repro.errors import ParameterError
+
+
+class TestDeBruijnSequence:
+    def test_classic_b23(self):
+        assert de_bruijn_sequence(2, 3) == [0, 0, 0, 1, 0, 1, 1, 1]
+
+    @pytest.mark.parametrize("m,h", [(2, 1), (2, 4), (2, 6), (3, 3), (4, 2), (5, 2)])
+    def test_validity(self, m, h):
+        seq = de_bruijn_sequence(m, h)
+        assert len(seq) == m ** h
+        assert is_de_bruijn_sequence(seq, m, h)
+
+    def test_validator_rejects_wrong_length(self):
+        assert not is_de_bruijn_sequence([0, 1], 2, 3)
+
+    def test_validator_rejects_bad_symbols(self):
+        assert not is_de_bruijn_sequence([0, 0, 0, 1, 0, 1, 1, 2], 2, 3)
+
+    def test_validator_rejects_repeats(self):
+        assert not is_de_bruijn_sequence([0, 0, 0, 1, 1, 0, 1, 1], 2, 3)
+        # (windows 011 appears twice cyclically)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            de_bruijn_sequence(1, 3)
+        with pytest.raises(ParameterError):
+            de_bruijn_sequence(2, 0)
+
+
+class TestHamiltonianCycle:
+    @pytest.mark.parametrize("m,h", [(2, 3), (2, 5), (3, 3)])
+    def test_visits_each_node_once(self, m, h):
+        cyc = hamiltonian_cycle(m, h)
+        assert sorted(cyc) == list(range(m ** h))
+
+    @pytest.mark.parametrize("m,h", [(2, 3), (2, 5), (3, 3)])
+    def test_follows_debruijn_arcs(self, m, h):
+        """Consecutive cycle nodes (with wraparound) are de Bruijn arcs:
+        next = (m*cur + r) mod m^h."""
+        n = m ** h
+        cyc = hamiltonian_cycle(m, h)
+        for cur, nxt in zip(cyc, cyc[1:] + cyc[:1]):
+            r = (nxt - m * cur) % n
+            assert 0 <= r < m
+
+    def test_cycle_edges_in_undirected_graph(self):
+        g = debruijn(2, 4)
+        cyc = hamiltonian_cycle(2, 4)
+        for cur, nxt in zip(cyc, cyc[1:] + cyc[:1]):
+            if cur != nxt:
+                assert g.has_edge(cur, nxt)
+
+
+class TestLineDigraph:
+    @pytest.mark.parametrize("m,h", [(2, 3), (3, 2), (4, 2)])
+    def test_identity_isomorphism(self, m, h):
+        """B_{m,h+1} = L(B_{m,h}) with the identity on integer labels:
+        arc-label successors computed through the line digraph equal the
+        direct de Bruijn successors in B_{m,h+1}."""
+        arcs = line_digraph_arcs(m, h)
+        label_to_head = {int(a): int(b) for a, b in arcs}
+        succ_big = debruijn_directed_successors(m, h + 1)
+        for label, head in label_to_head.items():
+            # arcs leaving `head` in B_{m,h} have labels m*head + r
+            expected = sorted((m * head + r) for r in range(m))
+            assert sorted(int(v) for v in succ_big[label]) == [
+                e % (m ** (h + 1)) for e in expected
+            ]
+
+    def test_arc_count(self):
+        arcs = line_digraph_arcs(2, 4)
+        assert arcs.shape == (32, 2)
+        assert sorted(int(a) for a, _ in arcs) == list(range(32))

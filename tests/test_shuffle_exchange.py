@@ -1,0 +1,146 @@
+"""Tests for the shuffle-exchange network and the ψ embedding into B_{2,h}.
+
+This file is the executable form of the paper's reliance on its reference
+[7]: "a shuffle-exchange network is a subgraph of a base-2 de Bruijn graph
+of the same size".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    debruijn,
+    embed_se_in_debruijn,
+    embed_se_in_ft_debruijn,
+    exhaustive_tolerance_check,
+    ft_debruijn,
+    ft_degree_bound,
+    ft_shuffle_exchange,
+    psi_map,
+    se_node_count,
+    shuffle_exchange,
+)
+from repro.core.labels import rotate_left, rotate_right, weight
+from repro.errors import ParameterError
+from repro.graphs import find_embedding, is_connected, verify_embedding
+
+
+class TestShuffleExchange:
+    @pytest.mark.parametrize("h", [3, 4, 5, 6])
+    def test_node_count_and_degree(self, h):
+        g = shuffle_exchange(h)
+        assert g.node_count == 2 ** h == se_node_count(h)
+        assert g.max_degree() <= 3
+
+    def test_edges_h3(self):
+        g = shuffle_exchange(3)
+        # exchange edges
+        for x in range(0, 8, 2):
+            assert g.has_edge(x, x + 1)
+        # shuffle edges: 1=001 -> 010=2; 3=011 -> 110=6; 5=101 -> 011=3
+        assert g.has_edge(1, 2) and g.has_edge(3, 6) and g.has_edge(5, 3)
+
+    def test_self_loops_absent(self):
+        g = shuffle_exchange(4)
+        # all-0 and all-1 shuffle to themselves; only their exchange edges remain
+        assert g.degree(0) == 1
+        assert g.degree(15) == 1
+
+    def test_connected(self):
+        for h in (3, 4, 5, 6, 7):
+            assert is_connected(shuffle_exchange(h))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            shuffle_exchange(0)
+
+
+class TestPsiEmbedding:
+    @pytest.mark.parametrize("h", list(range(3, 13)))
+    def test_psi_embeds_se_into_debruijn(self, h):
+        """The headline structural fact, verified edge-by-edge up to 4096
+        nodes."""
+        emb = embed_se_in_debruijn(h)  # Embedding constructor verifies
+        assert emb.pattern.node_count == emb.host.node_count == 2 ** h
+
+    @pytest.mark.parametrize("h", [3, 4, 5, 8, 10])
+    def test_psi_is_a_permutation(self, h):
+        psi = psi_map(h)
+        assert np.array_equal(np.sort(psi), np.arange(2 ** h))
+
+    @pytest.mark.parametrize("h", [3, 4, 5])
+    def test_psi_definition(self, h):
+        psi = psi_map(h)
+        for u in range(2 ** h):
+            if weight(u, 2, h) % 2 == 0:
+                assert psi[u] == u
+            else:
+                assert psi[u] == rotate_right(u, 2, h)
+
+    def test_psi_preserves_parity_classes(self):
+        h = 6
+        psi = psi_map(h)
+        for u in range(2 ** h):
+            assert weight(int(psi[u]), 2, h) == weight(u, 2, h)
+
+    def test_exchange_edge_images_are_predecessor_edges(self):
+        """For the even-weight endpoint e, the image pair must be
+        (e, (e >> 1) | (~e0 << (h-1))) — a de Bruijn π edge."""
+        h = 5
+        psi = psi_map(h)
+        for e in range(2 ** h):
+            if weight(e, 2, h) % 2:
+                continue
+            o = e ^ 1
+            img = int(psi[o])
+            expect = (e >> 1) | ((1 - (e & 1)) << (h - 1))
+            assert img == expect
+
+    def test_identity_is_not_an_embedding_for_h_ge_3(self):
+        """Why ψ is needed: exchange edges are not de Bruijn edges under
+        the natural labeling (e.g. (2, 3) in h=3)."""
+        se = shuffle_exchange(3)
+        db = debruijn(2, 3)
+        assert not verify_embedding(se, db, np.arange(8), raise_on_fail=False)
+
+    def test_search_agrees_some_embedding_exists(self):
+        """Independent confirmation via backtracking search (h=3, 4)."""
+        for h in (3, 4):
+            phi = find_embedding(shuffle_exchange(h), debruijn(2, h))
+            assert phi is not None
+
+
+class TestFTShuffleExchange:
+    def test_is_the_ft_debruijn(self):
+        assert ft_shuffle_exchange(4, 2) == ft_debruijn(2, 4, 2)
+
+    def test_degree_4k_plus_4(self):
+        for k in (0, 1, 2):
+            g = ft_shuffle_exchange(4, k)
+            assert g.max_degree() <= ft_degree_bound(2, k) == 4 * k + 4
+
+    @pytest.mark.parametrize("h,k", [(3, 1), (3, 2), (4, 1)])
+    def test_tolerant_for_se_via_psi(self, h, k):
+        """(k, SE_h)-tolerance of B^k_{2,h} through the composed map φ∘ψ."""
+        rep = exhaustive_tolerance_check(
+            ft_shuffle_exchange(h, k),
+            shuffle_exchange(h),
+            k,
+            logical_map=psi_map(h),
+        )
+        assert rep.ok
+
+    def test_embed_se_in_ft_debruijn_no_faults(self):
+        emb = embed_se_in_ft_debruijn(4, 2)
+        assert emb.host.node_count == 18
+
+    def test_embed_se_in_ft_debruijn_with_faults(self):
+        emb = embed_se_in_ft_debruijn(4, 2, faults=[0, 17])
+        img = set(map(int, emb.image_nodes()))
+        assert 0 not in img and 17 not in img
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ft_shuffle_exchange(4, -1)

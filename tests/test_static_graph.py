@@ -1,0 +1,220 @@
+"""Unit tests for the CSR graph kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError, ParameterError
+from repro.graphs import StaticGraph
+
+from tests.conftest import random_graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = StaticGraph(0)
+        assert g.node_count == 0
+        assert g.edge_count == 0
+        assert g.max_degree() == 0
+
+    def test_nodes_no_edges(self):
+        g = StaticGraph(5)
+        assert g.node_count == 5
+        assert g.edge_count == 0
+        assert list(g.degrees()) == [0] * 5
+
+    def test_basic_edges(self, triangle):
+        assert triangle.edge_count == 3
+        assert triangle.degree(0) == 2
+        assert list(triangle.neighbors(1)) == [0, 2]
+
+    def test_self_loops_dropped(self):
+        g = StaticGraph(3, [(0, 0), (0, 1), (2, 2)])
+        assert g.edge_count == 1
+        assert g.degree(2) == 0
+
+    def test_duplicate_edges_merged(self):
+        g = StaticGraph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.edge_count == 1
+        assert g.degree(0) == 1
+
+    def test_from_numpy_array(self):
+        arr = np.array([[0, 1], [1, 2]])
+        g = StaticGraph(3, arr)
+        assert g.edge_count == 2
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(ParameterError):
+            StaticGraph(-1)
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(GraphFormatError):
+            StaticGraph(3, [(0, 3)])
+        with pytest.raises(GraphFormatError):
+            StaticGraph(3, [(-1, 0)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphFormatError):
+            StaticGraph(3, np.array([[0, 1, 2]]))
+
+    def test_from_adjacency(self):
+        g = StaticGraph.from_adjacency({0: [1, 2], 1: [2]})
+        assert g.node_count == 3
+        assert g.edge_count == 3
+
+    def test_from_adjacency_explicit_n(self):
+        g = StaticGraph.from_adjacency({0: [1]}, num_nodes=5)
+        assert g.node_count == 5
+
+
+class TestQueries:
+    def test_neighbors_sorted(self, petersen):
+        for v in range(petersen.node_count):
+            nb = petersen.neighbors(v)
+            assert list(nb) == sorted(nb)
+
+    def test_neighbors_readonly(self, triangle):
+        nb = triangle.neighbors(0)
+        with pytest.raises(ValueError):
+            nb[0] = 99
+
+    def test_has_edge(self, square):
+        assert square.has_edge(0, 1)
+        assert square.has_edge(1, 0)
+        assert not square.has_edge(0, 2)
+        assert not square.has_edge(1, 1)
+
+    def test_has_edge_out_of_range(self, square):
+        with pytest.raises(GraphFormatError):
+            square.has_edge(0, 7)
+
+    def test_has_edges_vectorized(self, square):
+        us = np.array([0, 1, 0, 2])
+        vs = np.array([1, 2, 2, 2])
+        assert list(square.has_edges(us, vs)) == [True, True, False, False]
+
+    def test_has_edges_matches_scalar(self, rng):
+        g = random_graph(30, 0.2, rng)
+        us = rng.integers(0, 30, size=200)
+        vs = rng.integers(0, 30, size=200)
+        batch = g.has_edges(us, vs)
+        for u, v, b in zip(us, vs, batch):
+            assert g.has_edge(int(u), int(v)) == bool(b)
+
+    def test_has_edges_shape_mismatch(self, square):
+        with pytest.raises(GraphFormatError):
+            square.has_edges(np.array([0]), np.array([0, 1]))
+
+    def test_edges_sorted_unique(self, petersen):
+        e = petersen.edges()
+        assert e.shape == (15, 2)
+        assert (e[:, 0] < e[:, 1]).all()
+        keys = e[:, 0] * 10 + e[:, 1]
+        assert (np.diff(keys) > 0).all()
+
+    def test_iter_edges(self, triangle):
+        assert sorted(triangle.iter_edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_adjacency_dict(self, triangle):
+        assert triangle.adjacency_dict() == {0: [1, 2], 1: [0, 2], 2: [0, 1]}
+
+    def test_degree_sum_is_twice_edges(self, rng):
+        g = random_graph(40, 0.15, rng)
+        assert int(g.degrees().sum()) == 2 * g.edge_count
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self, petersen):
+        h, kept = petersen.induced_subgraph([0, 1, 2, 5, 6])
+        assert h.node_count == 5
+        assert list(kept) == [0, 1, 2, 5, 6]
+        # edges preserved: (0,1),(1,2),(0,5) and 5-? inner edges among {5,6}: none
+        assert h.has_edge(0, 1) and h.has_edge(1, 2)
+        assert h.has_edge(0, 3)  # old (0,5) -> new ids 0,3
+
+    def test_induced_subgraph_rank_relabel(self):
+        g = StaticGraph(5, [(1, 3), (3, 4)])
+        h, kept = g.induced_subgraph([1, 3, 4])
+        assert list(kept) == [1, 3, 4]
+        assert sorted(h.iter_edges()) == [(0, 1), (1, 2)]
+
+    def test_without_nodes(self, petersen):
+        h, kept = petersen.without_nodes([0])
+        assert h.node_count == 9
+        assert 0 not in kept
+
+    def test_without_nodes_out_of_range(self, triangle):
+        with pytest.raises(GraphFormatError):
+            triangle.without_nodes([5])
+
+    def test_relabel_roundtrip(self, petersen, rng):
+        perm = rng.permutation(10)
+        h = petersen.relabel(perm)
+        inv = np.argsort(perm)
+        assert h.relabel(inv) == petersen
+
+    def test_relabel_preserves_structure(self, square):
+        h = square.relabel([3, 2, 1, 0])
+        assert h.edge_count == square.edge_count
+        assert sorted(h.degrees()) == sorted(square.degrees())
+
+    def test_relabel_rejects_non_permutation(self, triangle):
+        with pytest.raises(GraphFormatError):
+            triangle.relabel([0, 0, 1])
+
+    def test_union(self):
+        a = StaticGraph(4, [(0, 1)])
+        b = StaticGraph(4, [(2, 3), (0, 1)])
+        u = a.union(b)
+        assert u.edge_count == 2
+
+    def test_union_size_mismatch(self, triangle, square):
+        with pytest.raises(GraphFormatError):
+            triangle.union(square)
+
+    def test_is_edge_subset_of(self, square):
+        sub = StaticGraph(4, [(0, 1), (2, 3)])
+        assert sub.is_edge_subset_of(square)
+        assert not square.is_edge_subset_of(sub)
+
+    def test_equality_and_hash(self, triangle):
+        other = StaticGraph(3, [(1, 2), (0, 2), (0, 1)])
+        assert triangle == other
+        assert hash(triangle) == hash(other)
+        assert triangle != StaticGraph(3, [(0, 1)])
+
+
+class TestPropertyBased:
+    @given(
+        n=st.integers(min_value=1, max_value=25),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_handshake_lemma(self, n, seed):
+        g = random_graph(n, 0.3, np.random.default_rng(seed))
+        assert int(g.degrees().sum()) == 2 * g.edge_count
+
+    @given(
+        n=st.integers(min_value=2, max_value=20),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_induced_subgraph_edge_subset(self, n, seed):
+        rng = np.random.default_rng(seed)
+        g = random_graph(n, 0.4, rng)
+        keep = rng.choice(n, size=max(1, n // 2), replace=False)
+        h, kept = g.induced_subgraph(keep)
+        for u, v in h.iter_edges():
+            assert g.has_edge(int(kept[u]), int(kept[v]))
+
+    @given(
+        n=st.integers(min_value=1, max_value=15),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_edges_roundtrip(self, n, seed):
+        g = random_graph(n, 0.5, np.random.default_rng(seed))
+        assert StaticGraph(n, g.edges()) == g

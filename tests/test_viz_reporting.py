@@ -1,0 +1,106 @@
+"""Tests for the figure renderings and the experiment report registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import all_experiment_ids, format_table, run_experiment
+from repro.analysis.reporting import main as reporting_main
+from repro.core import bus_ft_debruijn, debruijn, ft_debruijn, rank_remap
+from repro.viz import adjacency_listing, bus_listing, relabeled_listing, to_dot
+
+
+class TestAsciiArt:
+    def test_adjacency_listing_labels(self):
+        text = adjacency_listing(debruijn(2, 3), 2, 3)
+        assert "[0,0,0]_2" in text
+        assert "[1,1,1]_2" in text
+        assert text.count("\n") == 7
+
+    def test_adjacency_listing_spares(self):
+        text = adjacency_listing(ft_debruijn(2, 3, 1), 2, 3)
+        assert "(spare)" in text
+
+    def test_adjacency_listing_plain(self):
+        text = adjacency_listing(debruijn(2, 3))
+        assert "--" in text and "[0,0,0]" not in text
+
+    def test_to_dot(self):
+        dot = to_dot(debruijn(2, 3), "B23", faulty=[2])
+        assert dot.startswith('graph "B23"')
+        assert "layout=circo" in dot
+        assert "2 [style=filled" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_relabeled_listing(self):
+        phi = rank_remap(9, [4], 8)
+        text = relabeled_listing(9, phi, [4], 2, 3)
+        assert "X  (faulty)" in text
+        assert "hosts 4" in text  # logical 4 hosted somewhere
+        assert text.count("physical") == 9
+
+    def test_relabeled_listing_idle_spares(self):
+        phi = rank_remap(10, [0], 8)
+        text = relabeled_listing(10, phi, [0], 2, 3)
+        assert "idle spare" in text
+
+    def test_bus_listing(self):
+        text = bus_listing(bus_ft_debruijn(3, 1))
+        assert "bus   0 (owner 0)" in text
+        assert text.count("\n") == 8
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(empty)"
+
+    def test_alignment(self):
+        rows = [{"a": 1, "bb": "xy"}, {"a": 222, "bb": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+
+class TestReportRegistry:
+    def test_ids_stable(self):
+        ids = all_experiment_ids()
+        assert "FIG1" in ids and "TAB1" in ids and "REL" in ids
+        assert "DIL" in ids and "SEALG" in ids
+        assert len(ids) == 21
+
+    @pytest.mark.parametrize(
+        "exp_id", ["FIG1", "FIG2", "FIG4", "TAB2", "COR14", "BUSDEG", "REL", "SENAT"]
+    )
+    def test_cheap_experiments_run(self, exp_id):
+        rep = run_experiment(exp_id)
+        assert rep.exp_id == exp_id
+        assert rep.body
+        assert rep.render().startswith("=")
+
+    def test_fig3_metrics(self):
+        rep = run_experiment("FIG3")
+        assert rep.metrics["verified_single_faults"] == rep.metrics["total"] == 17
+
+    def test_fig5_metrics(self):
+        rep = run_experiment("FIG5")
+        assert rep.metrics["node_fault_ok"] == 9
+        assert rep.metrics["bus_fault_ok"] == 9
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("NOPE")
+
+    def test_cli_list(self, capsys):
+        assert reporting_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG1" in out
+
+    def test_cli_single(self, capsys):
+        assert reporting_main(["FIG4"]) == 0
+        out = capsys.readouterr().out
+        assert "Bus implementation" in out
+
+    def test_cli_unknown(self, capsys):
+        assert reporting_main(["BOGUS"]) == 2

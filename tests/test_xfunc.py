@@ -1,0 +1,163 @@
+"""Tests for the X function, offset windows, and Lemmas 2/3 arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.xfunc import (
+    ft_window,
+    predecessor_solutions,
+    successor_block,
+    target_window,
+    wrap_count,
+    x_func,
+    x_func_array,
+)
+from repro.errors import ParameterError
+
+
+class TestXFunc:
+    def test_paper_definition(self):
+        # X(x, m, r, s) = (xm + r) mod s
+        assert x_func(5, 2, 1, 16) == 11
+        assert x_func(15, 2, 0, 16) == 14
+        assert x_func(15, 2, 1, 16) == 15  # the self-loop node
+
+    def test_negative_offset(self):
+        assert x_func(0, 2, -1, 17) == 16
+
+    def test_bad_modulus(self):
+        with pytest.raises(ParameterError):
+            x_func(0, 2, 0, 0)
+
+    def test_array_broadcast(self):
+        xs = np.arange(4).reshape(-1, 1)
+        rs = np.array([0, 1]).reshape(1, -1)
+        out = x_func_array(xs, 2, rs, 8)
+        assert out.shape == (4, 2)
+        assert out[3, 1] == 7
+
+    def test_array_bad_modulus(self):
+        with pytest.raises(ParameterError):
+            x_func_array(np.arange(3), 2, 0, -5)
+
+
+class TestWindows:
+    def test_target_window(self):
+        assert list(target_window(2)) == [0, 1]
+        assert list(target_window(4)) == [0, 1, 2, 3]
+
+    def test_ft_window_base2(self):
+        # r in {-k, ..., k+1}: size 2k+2
+        assert list(ft_window(2, 1)) == [-1, 0, 1, 2]
+        assert list(ft_window(2, 0)) == [0, 1]
+        assert len(ft_window(2, 5)) == 12
+
+    def test_ft_window_basem(self):
+        # r in {(m-1)(-k), ..., (m-1)(k+1)}: size (m-1)(2k+1)+1
+        w = ft_window(3, 2)
+        assert w[0] == -4 and w[-1] == 6
+        assert len(w) == (3 - 1) * (2 * 2 + 1) + 1
+
+    def test_ft_window_k0_equals_target(self):
+        for m in (2, 3, 5):
+            assert list(ft_window(m, 0)) == list(target_window(m))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ft_window(1, 1)
+        with pytest.raises(ParameterError):
+            ft_window(2, -1)
+        with pytest.raises(ParameterError):
+            target_window(0)
+
+
+class TestWrapCount:
+    def test_lemma2_base2_exhaustive(self):
+        """Lemma 2, exhaustively for h=4: for every edge of B_{2,h} with
+        y = X(x,2,r,2^h), either x < y and y = 2x + r (t=0), or x > y and
+        y = 2x + r - 2^h (t=1)."""
+        n = 16
+        for x in range(n):
+            for r in (0, 1):
+                y = x_func(x, 2, r, n)
+                if x == y:
+                    continue  # self-loop, not an edge
+                t = wrap_count(x, y, 2, r, n)
+                if x < y:
+                    assert t == 0
+                else:
+                    assert t == 1
+
+    @pytest.mark.parametrize("m,h", [(3, 3), (4, 3), (5, 2)])
+    def test_lemma3_basem_exhaustive(self, m, h):
+        """Lemma 3: x < y implies t in {0..m-2}; x > y implies t in {1..m-1}."""
+        n = m ** h
+        for x in range(n):
+            for r in range(m):
+                y = x_func(x, m, r, n)
+                if x == y:
+                    continue
+                t = wrap_count(x, y, m, r, n)
+                if x < y:
+                    assert 0 <= t <= m - 2
+                else:
+                    assert 1 <= t <= m - 1
+
+    def test_wrap_count_mismatch(self):
+        with pytest.raises(ParameterError):
+            wrap_count(3, 5, 2, 0, 16)  # 5 != 6
+
+    @given(
+        x=st.integers(min_value=0, max_value=2**8 - 1),
+        r=st.integers(min_value=0, max_value=1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_lemma2_property(self, x, r):
+        n = 256
+        y = x_func(x, 2, r, n)
+        if x != y:
+            t = wrap_count(x, y, 2, r, n)
+            assert (x < y and t == 0) or (x > y and t == 1)
+
+
+class TestBlocks:
+    def test_successor_block_base2(self):
+        # node i connects to the block of 2k+2 consecutive nodes starting
+        # at (2i - k) mod (2^h + k)  [Section V's phrasing]
+        h, k = 3, 1
+        n = 2 ** h + k
+        for i in range(n):
+            blk = successor_block(i, 2, k, n)
+            expect = {(2 * i - k + j) % n for j in range(2 * k + 2)} - {i}
+            assert set(int(b) for b in blk) == expect
+
+    def test_successor_block_size_bound(self):
+        # at most (m-1)(2k+1) + 1 successors
+        for m, k in [(2, 2), (3, 1), (4, 2)]:
+            n = m ** 3 + k
+            for i in (0, 1, n // 2, n - 1):
+                blk = successor_block(i, m, k, n)
+                assert blk.size <= (m - 1) * (2 * k + 1) + 1
+
+    def test_predecessor_solutions_inverse(self):
+        """x in predecessors(y) iff y in successors(x)."""
+        m, h, k = 2, 3, 2
+        n = m ** h + k
+        for y in range(n):
+            preds = set(int(p) for p in predecessor_solutions(y, m, k, n))
+            for x in range(n):
+                succ = set(int(s) for s in successor_block(x, m, k, n))
+                assert (x in preds) == (y in succ)
+
+    def test_predecessor_solutions_basem(self):
+        m, h, k = 3, 3, 1
+        n = m ** h + k
+        for y in (0, 5, n - 1):
+            preds = set(int(p) for p in predecessor_solutions(y, m, k, n))
+            for x in range(n):
+                succ = set(int(s) for s in successor_block(x, m, k, n))
+                assert (x in preds) == (y in succ)
