@@ -1,0 +1,80 @@
+"""Bench ENGINES: the vectorized batch engine vs. the object engine.
+
+The batch engine's whole value proposition is "identical answers, much
+faster" — so this bench measures both halves: packet-for-packet
+equivalence (with and without mid-drain faults) and the wall-clock win
+on a heavy-traffic workload.  ``tools/bench_engines_report.py`` tracks
+the same numbers across PRs in ``BENCH_engines.json``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.simulator import (
+    FaultScenario,
+    ReconfigurationController,
+    make_pattern,
+)
+
+from benchmarks.conftest import once
+
+
+def _run(engine: str, pairs: np.ndarray, faults=(), k: int = 1):
+    ctrl = ReconfigurationController(2, 8, k, engine=engine)
+    if faults:
+        ctrl.schedule(FaultScenario(list(faults)))
+    stats = ctrl.run_workload([pairs.copy()])
+    return ctrl, stats
+
+
+def test_engines_identical_stats(benchmark):
+    """Fault-free 20k-packet uniform workload: bit-identical RunStats."""
+    pairs = make_pattern(256, "uniform", 20_000, np.random.default_rng(1))
+
+    def both():
+        _, s_obj = _run("object", pairs)
+        _, s_bat = _run("batch", pairs)
+        return s_obj, s_bat
+
+    s_obj, s_bat = once(benchmark, both)
+    assert s_obj == s_bat
+    assert s_obj.delivered == 20_000
+
+
+def test_engines_identical_under_mid_drain_fault(benchmark):
+    """A fault firing mid-drain must drop the same packets in both engines."""
+    pairs = make_pattern(256, "uniform", 10_000, np.random.default_rng(2))
+    faults = [(4, 33), (9, 100)]
+
+    def both():
+        a, s_obj = _run("object", pairs, faults, k=2)
+        b, s_bat = _run("batch", pairs, faults, k=2)
+        return a, s_obj, b, s_bat
+
+    a, s_obj, b, s_bat = once(benchmark, both)
+    assert s_obj == s_bat
+    assert a.fault_log == b.fault_log
+    assert s_obj.dropped > 0  # the fault really fired mid-drain
+
+
+def test_batch_engine_speedup(benchmark):
+    """The headline: each engine through its native pipeline (scalar
+    routing + per-packet injection vs batch arrays), ≥ 5x on 50k packets
+    even at this modest size (the 100k acceptance row in
+    BENCH_engines.json clears 10x)."""
+    tools_dir = str(pathlib.Path(__file__).resolve().parent.parent / "tools")
+    if tools_dir not in sys.path:
+        sys.path.insert(0, tools_dir)
+    from bench_engines_report import run_engine_row
+
+    def race():
+        return run_engine_row("uniform", 2, 9, 1, 50_000, [], seed=3)
+
+    t_obj, t_bat, stats, identical, count = once(benchmark, race)
+    assert identical
+    assert stats.delivered == count == 50_000
+    assert t_obj / t_bat >= 5.0

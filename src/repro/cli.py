@@ -5,8 +5,10 @@ Commands
 ``build``    construct a graph family member and print its vitals
 ``verify``   run a (k, G)-tolerance check (exhaustive or sampled)
 ``report``   regenerate paper figures/tables (delegates to the registry)
-``route``    show a logical route and its lift under a fault set
-``demo``     thirty-second tour: construct, fail, reconfigure, verify
+``route``         show a logical route and its lift under a fault set
+``demo``          thirty-second tour: construct, fail, reconfigure, verify
+``bench-engines`` race the object vs. batch simulation engines on one
+                  workload and check they agree packet-for-packet
 """
 
 from __future__ import annotations
@@ -126,6 +128,59 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_engines(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.simulator import (
+        FaultScenario,
+        ReconfigurationController,
+        make_pattern,
+    )
+
+    n = args.m ** args.h
+    pairs = make_pattern(
+        n, args.pattern, args.packets, np.random.default_rng(args.seed)
+    )
+    if args.batches > 1:
+        batches = np.array_split(pairs, args.batches)
+    else:
+        batches = [pairs]
+    faults = []
+    for spec in args.fault:
+        try:
+            cycle_s, node_s = spec.split(":")
+            faults.append((int(cycle_s), int(node_s)))
+        except ValueError:
+            print(f"error: --fault expects CYCLE:NODE, got {spec!r}", file=sys.stderr)
+            return 2
+
+    results = {}
+    for engine in ("object", "batch"):
+        ctrl = ReconfigurationController(
+            args.m, args.h, args.k, engine=engine, link_capacity=args.capacity
+        )
+        if faults:
+            ctrl.schedule(FaultScenario(list(faults)))
+        t0 = time.perf_counter()
+        stats = ctrl.run_workload(
+            [b.copy() for b in batches], cycles_per_batch=args.cycles_per_batch
+        )
+        results[engine] = (time.perf_counter() - t0, stats)
+
+    t_obj, s_obj = results["object"]
+    t_bat, s_bat = results["batch"]
+    identical = s_obj == s_bat
+    print(
+        f"workload: {args.pattern}, {pairs.shape[0]} packets on "
+        f"B^{args.k}_{{{args.m},{args.h}}}"
+        + (f", faults {faults}" if faults else "")
+    )
+    print(f"object engine: {t_obj:8.3f} s   {s_obj}")
+    print(f"batch  engine: {t_bat:8.3f} s   {s_bat}")
+    print(f"speedup: {t_obj / t_bat:.1f}x   identical stats: {identical}")
+    return 0 if identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -166,6 +221,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     d = sub.add_parser("demo", help="thirty-second tour")
     d.set_defaults(func=_cmd_demo)
+
+    from repro.simulator.traffic import PATTERN_NAMES
+
+    be = sub.add_parser(
+        "bench-engines",
+        help="race the object vs. batch simulation engines on one workload",
+    )
+    be.add_argument("--m", type=int, default=2)
+    be.add_argument("--h", type=int, default=8)
+    be.add_argument("--k", type=int, default=1)
+    be.add_argument("--pattern", choices=PATTERN_NAMES, default="uniform")
+    be.add_argument("--packets", type=int, default=20_000)
+    be.add_argument("--batches", type=int, default=1,
+                    help="split the workload into this many injection batches")
+    be.add_argument("--capacity", type=int, default=1)
+    be.add_argument("--cycles-per-batch", type=int, default=0)
+    be.add_argument("--fault", action="append", default=[], metavar="CYCLE:NODE",
+                    help="schedule a node fault (repeatable)")
+    be.add_argument("--seed", type=int, default=0)
+    be.set_defaults(func=_cmd_bench_engines)
     return p
 
 

@@ -2,9 +2,11 @@
 
 from repro.routing.shift_register import (
     overlap_length,
+    overlap_length_batch,
     route_length,
     route_length_matrix,
     shift_route,
+    shift_route_batch,
 )
 from repro.routing.shortest_path import (
     bfs_parents,
@@ -20,12 +22,15 @@ from repro.routing.tables import (
 from repro.routing.fault_routing import (
     ReconfiguredRouter,
     detour_route,
+    lifted_routes_batch,
     survivor_graph,
 )
 
 __all__ = [
     "overlap_length",
+    "overlap_length_batch",
     "shift_route",
+    "shift_route_batch",
     "route_length",
     "route_length_matrix",
     "bfs_parents",
@@ -37,5 +42,6 @@ __all__ = [
     "validate_routing_table",
     "ReconfiguredRouter",
     "detour_route",
+    "lifted_routes_batch",
     "survivor_graph",
 ]

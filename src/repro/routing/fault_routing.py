@@ -24,10 +24,30 @@ from repro.core.fault_tolerant import ft_debruijn
 from repro.core.reconfiguration import Reconfigurator
 from repro.errors import RoutingError
 from repro.graphs.static_graph import StaticGraph
-from repro.routing.shift_register import shift_route
+from repro.routing.shift_register import (
+    route_hop_pairs,
+    shift_route,
+    shift_route_batch,
+)
 from repro.routing.shortest_path import bfs_parents, extract_path
 
-__all__ = ["ReconfiguredRouter", "detour_route", "survivor_graph"]
+__all__ = [
+    "ReconfiguredRouter",
+    "detour_route",
+    "lifted_routes_batch",
+    "survivor_graph",
+]
+
+
+def lifted_routes_batch(
+    m: int, h: int, phi: np.ndarray, srcs: np.ndarray, dsts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shift-register routes for a batch of logical pairs, lifted through
+    the reconfiguration map ``φ``: ``(flat, offsets)`` arrays in the
+    :func:`repro.routing.shift_register.shift_route_batch` layout, ready
+    for ``inject_routes`` on either simulation engine."""
+    flat, offsets = shift_route_batch(srcs, dsts, m, h)
+    return phi[flat], offsets
 
 
 class ReconfiguredRouter:
@@ -75,6 +95,31 @@ class ReconfiguredRouter:
                     f"lifted hop ({a}, {b}) missing — invariant violated"
                 )
         return route
+
+    def physical_routes_batch(
+        self, srcs: np.ndarray, dsts: np.ndarray, *, validate: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Lifted routes for a whole batch of logical pairs at once.
+
+        Returns ``(flat, offsets)`` arrays in the
+        :func:`repro.routing.shift_register.shift_route_batch` layout, with
+        every node already pushed through φ — ready for
+        :meth:`repro.simulator.batch_engine.BatchEngine.inject_routes`.
+        ``validate=True`` re-checks the Theorem 1/2 invariant (every lifted
+        hop is a physical edge) with one vectorized ``has_edges`` call.
+        """
+        flat, offsets = lifted_routes_batch(
+            self.m, self.h, self.reconfigurator.phi(), srcs, dsts
+        )
+        if validate and flat.size > 1:
+            a, b = route_hop_pairs(flat, offsets)
+            ok = self.ft.has_edges(a, b)
+            if not ok.all():
+                i = int(np.flatnonzero(~ok)[0])
+                raise RoutingError(
+                    f"lifted hop ({a[i]}, {b[i]}) missing — invariant violated"
+                )
+        return flat, offsets
 
     def route_length(self, src: int, dst: int) -> int:
         """Hops of the reconfigured route — equal to the fault-free length

@@ -14,7 +14,34 @@ import numpy as np
 from repro.core.labels import from_digits, to_digits, validate_base, validate_h
 from repro.errors import ParameterError
 
-__all__ = ["overlap_length", "shift_route", "route_length", "route_length_matrix"]
+__all__ = [
+    "overlap_length",
+    "overlap_length_batch",
+    "route_hop_pairs",
+    "shift_route",
+    "shift_route_batch",
+    "route_length",
+    "route_length_matrix",
+]
+
+
+def route_hop_pairs(flat: np.ndarray, offsets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Consecutive intra-route hop pairs ``(a, b)`` of a flattened route
+    batch in the ``(flat, offsets)`` layout — the pairs that must be graph
+    edges.  Route boundaries contribute no pair.
+
+    >>> import numpy as np
+    >>> a, b = route_hop_pairs(np.array([0, 1, 2, 7, 3]), np.array([0, 3, 5]))
+    >>> list(zip(a.tolist(), b.tolist()))
+    [(0, 1), (1, 2), (7, 3)]
+    """
+    if flat.size <= 1:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    is_last = np.zeros(flat.size, dtype=bool)
+    is_last[offsets[1:] - 1] = True
+    keep = ~is_last[:-1]
+    return flat[:-1][keep], flat[1:][keep]
 
 
 def overlap_length(x: int, y: int, m: int, h: int) -> int:
@@ -58,6 +85,76 @@ def shift_route(x: int, y: int, m: int, h: int) -> list[int]:
         path.append(cur)
     assert path[-1] == y
     return path
+
+
+def overlap_length_batch(xs: np.ndarray, ys: np.ndarray, m: int, h: int) -> np.ndarray:
+    """Vectorized :func:`overlap_length` over parallel endpoint arrays.
+
+    >>> overlap_length_batch(np.array([0b0111, 0]), np.array([0b1110, 5]), 2, 4).tolist()
+    [3, 1]
+    """
+    xs = np.asarray(xs, dtype=np.int64)
+    ys = np.asarray(ys, dtype=np.int64)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ParameterError("endpoint arrays must be 1-D and of equal length")
+    if xs.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    dx = to_digits(xs, m, h)
+    dy = to_digits(ys, m, h)
+    ell = np.zeros(xs.size, dtype=np.int64)
+    undecided = np.ones(xs.size, dtype=bool)
+    for length in range(h, 0, -1):
+        match = (dx[:, h - length:] == dy[:, :length]).all(axis=1)
+        take = undecided & match
+        ell[take] = length
+        undecided &= ~match
+    return ell
+
+
+def shift_route_batch(
+    xs: np.ndarray, ys: np.ndarray, m: int, h: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """All shift-register routes for parallel ``(xs[i], ys[i])`` pairs,
+    flattened for the batch simulation engine.
+
+    Returns ``(flat, offsets)`` where packet ``i``'s route (inclusive of
+    both endpoints, exactly :func:`shift_route`'s node list) occupies
+    ``flat[offsets[i]:offsets[i + 1]]``.  No per-packet Python loops: the
+    digit pipeline advances all routes one shift per vectorized step.
+
+    >>> flat, off = shift_route_batch(np.array([0]), np.array([5]), 2, 3)
+    >>> flat.tolist(), off.tolist()
+    ([0, 1, 2, 5], [0, 4])
+    """
+    m = validate_base(m)
+    h = validate_h(h)
+    n = m ** h
+    xs = np.asarray(xs, dtype=np.int64)
+    ys = np.asarray(ys, dtype=np.int64)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ParameterError("endpoint arrays must be 1-D and of equal length")
+    if xs.size == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+    if xs.min() < 0 or ys.min() < 0 or xs.max() >= n or ys.max() >= n:
+        raise ParameterError(f"endpoints must lie in [0, {n})")
+    ell = overlap_length_batch(xs, ys, m, h)
+    dy = to_digits(ys, m, h)
+    lens = h - ell + 1  # nodes per route
+    offsets = np.zeros(xs.size + 1, dtype=np.int64)
+    np.cumsum(lens, out=offsets[1:])
+    work = np.zeros((xs.size, h + 1), dtype=np.int64)
+    work[:, 0] = xs
+    cur = xs.copy()
+    rows = np.arange(xs.size)
+    for step in range(1, h + 1):
+        active = lens > step
+        if not active.any():
+            break
+        digit = dy[rows[active], ell[active] + step - 1]
+        cur[active] = (m * cur[active] + digit) % n
+        work[active, step] = cur[active]
+    mask = np.arange(h + 1)[None, :] < lens[:, None]
+    return work[mask], offsets
 
 
 def route_length(x: int, y: int, m: int, h: int) -> int:

@@ -1,0 +1,498 @@
+"""Vectorized structure-of-arrays batch simulation engine.
+
+:class:`BatchEngine` simulates the exact store-and-forward model of
+:class:`repro.simulator.network.NetworkSimulator` — unit-time links, per
+directed link a FIFO queue served at ``link_capacity`` packets per cycle,
+source-routed packets, links served in sorted key order — but holds no
+per-packet Python objects.  All routes live flattened in one
+``(total_hops,)`` int64 array with per-packet offsets, and the engine is
+*event-driven*: it touches each packet only on the cycles where that
+packet actually moves, which makes draining millions of packets 1–2
+orders of magnitude faster than the object engine (see
+``benchmarks/bench_engines`` and ``tools/bench_engines_report.py``).
+
+Semantic equivalence
+--------------------
+The engine is a drop-in twin: on the same (graph, injections, fault
+schedule) it produces *bit-identical* :class:`RunStats` and identical
+per-packet delivery cycles and drop decisions as ``NetworkSimulator``.
+This is enforced by the golden tests in ``tests/test_batch_engine.py``.
+
+How it works: departure slots are exact
+---------------------------------------
+In the object engine a directed link's deque serves up to
+``link_capacity`` packets per cycle, FIFO, and arrivals only ever append
+to the tail.  That makes every packet's departure cycle computable *at
+the moment it joins the queue*: if the queue's service schedule has
+filled slots up to ``(next_slot, used)``, the joiner at cycle ``t``
+departs at ``max(t + 1, next_slot)`` plus however many whole slots the
+backlog ahead of it occupies.  Two facts keep this exact under faults:
+
+* later arrivals cannot affect earlier ones (FIFO tail appends), and
+* faults never shorten a queue partially — ``disable_node`` /
+  ``disable_link`` kill entire queues, so surviving schedules never
+  shift.
+
+The engine therefore keeps a calendar of *buckets*: ``bucket[c]`` holds
+every packet scheduled to depart its current link at cycle ``c``, stored
+as parallel arrays ``(pid, ptr, queue_key, seq)``.  A :meth:`step` to
+cycle ``c`` pops the bucket, orders it by ``(queue_key, seq)`` — exactly
+the object engine's sorted-key, FIFO-within-queue service order — and
+processes all arrivals vectorized: dead-node/dead-link boolean masks
+decide drops, destination hits record delivery, and continuing packets
+are grouped by their next queue for one segmented slot computation that
+schedules their departures into future buckets.  Per-queue schedule
+state is indexed densely by directed-edge id (CSR order, which preserves
+key order); rare non-edge hops injected with ``validate=False`` get
+overflow ids on demand.
+
+Work is O(total hops actually traversed), not
+O(in-flight × cycles) — idle packets cost nothing, and :meth:`run`
+skips straight across cycles where no packet moves.
+
+When to use which engine
+------------------------
+Use ``NetworkSimulator`` for small workloads, debugging, or when you
+need per-:class:`Packet` objects; use ``BatchEngine`` whenever the
+packet count is large (≳ a few thousand).  The controllers in
+:mod:`repro.simulator.faults` switch via ``engine="object" | "batch"``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graphs.static_graph import StaticGraph
+from repro.routing.shift_register import route_hop_pairs
+from repro.simulator.metrics import PacketArrays, RunStats, summarize_arrays
+
+__all__ = ["BatchEngine", "pack_routes"]
+
+_I64 = np.int64
+
+
+def pack_routes(routes: Iterable[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a list of node-list routes into ``(flat, offsets)`` arrays
+    in the layout :meth:`BatchEngine.inject_routes` consumes."""
+    routes = list(routes)
+    lens = np.array([len(r) for r in routes], dtype=_I64)
+    offsets = np.zeros(lens.size + 1, dtype=_I64)
+    np.cumsum(lens, out=offsets[1:])
+    flat = np.fromiter(
+        (int(v) for r in routes for v in r), dtype=_I64, count=int(offsets[-1])
+    )
+    return flat, offsets
+
+
+class BatchEngine:
+    """Vectorized synchronous packet simulator over a :class:`StaticGraph`.
+
+    Parameters
+    ----------
+    graph:
+        Physical topology; every route hop must be one of its edges.
+    link_capacity:
+        Packets one directed link may move per cycle.
+    """
+
+    def __init__(self, graph: StaticGraph, link_capacity: int = 1):
+        if link_capacity < 1:
+            raise SimulationError("link_capacity must be >= 1")
+        self.graph = graph
+        self.link_capacity = int(link_capacity)
+        self.cycle = 0
+        self._n = graph.node_count
+        # per-packet records: structure of arrays with amortized-doubling
+        # capacity (logical lengths are _n_packets / _flat_len), so many
+        # small injection batches stay O(total) instead of O(batches^2)
+        self._n_packets = 0
+        self._flat_len = 0
+        self._flat = np.zeros(0, dtype=_I64)          # all routes, concatenated
+        self._off = np.zeros(1, dtype=_I64)           # per-packet offsets into _flat
+        self._injected_at = np.zeros(0, dtype=_I64)
+        self._delivered_at = np.zeros(0, dtype=_I64)  # -1 == not delivered
+        self._dropped = np.zeros(0, dtype=bool)
+        # directed-link registry: CSR order == sorted (u*n + v) key order
+        degrees = np.diff(graph.indptr)
+        src = np.repeat(np.arange(self._n, dtype=_I64), degrees)
+        self._eid_keys = src * self._n + graph.indices
+        self._extra_ids: dict[int, int] = {}          # non-edge queues (rare)
+        n_queues = self._eid_keys.size
+        # per-queue service schedule: next slot with free capacity + packets
+        # already placed in it
+        self._q_next_slot = np.zeros(n_queues, dtype=_I64)
+        self._q_used = np.zeros(n_queues, dtype=_I64)
+        # calendar: depart cycle -> list of (pid, ptr, queue_key, seq) chunks,
+        # plus a lazily-pruned min-heap of scheduled cycles for run()
+        self._buckets: dict[int, list[tuple[np.ndarray, ...]]] = {}
+        self._bucket_heap: list[int] = []
+        self._seq = 0                                 # global FIFO tiebreaker
+        self._in_flight = 0
+        # fault state
+        self._dead = np.zeros(self._n, dtype=bool)
+        self._dead_link_keys = np.zeros(0, dtype=_I64)
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def dead_nodes(self) -> frozenset[int]:
+        return frozenset(int(v) for v in np.flatnonzero(self._dead))
+
+    def _drop_queues(self, predicate) -> int:
+        """Drop every scheduled packet whose *current* queue satisfies
+        ``predicate(u, v)``.  Whole queues die at once, so the surviving
+        departure schedules stay exact."""
+        dropped = 0
+        for cyc in list(self._buckets):
+            new_chunks = []
+            for pid, ptr, key, seq in self._buckets[cyc]:
+                u = self._flat[ptr]
+                w = self._flat[ptr + 1]
+                hit = predicate(u, w)
+                count = int(np.count_nonzero(hit))
+                if count:
+                    dropped += count
+                    self._dropped[pid[hit]] = True
+                    keep = ~hit
+                    if keep.any():
+                        new_chunks.append(
+                            (pid[keep], ptr[keep], key[keep], seq[keep])
+                        )
+                else:
+                    new_chunks.append((pid, ptr, key, seq))
+            if new_chunks:
+                self._buckets[cyc] = new_chunks
+            else:
+                del self._buckets[cyc]
+        self._in_flight -= dropped
+        return dropped
+
+    def disable_node(self, v: int) -> int:
+        """Mark a node dead mid-run; drop everything queued on its links.
+        Returns the drop count.  Raises :class:`SimulationError` for a
+        node id outside the graph."""
+        v = int(v)
+        if not 0 <= v < self._n:
+            raise SimulationError(
+                f"cannot disable node {v}: not a node of the graph [0, {self._n})"
+            )
+        self._dead[v] = True
+        return self._drop_queues(lambda u, w: (u == v) | (w == v))
+
+    def disable_link(self, u: int, v: int) -> int:
+        """Fail the undirected link ``{u, v}`` mid-run; drop everything
+        queued on either direction and return the drop count.  Raises
+        :class:`SimulationError` when ``{u, v}`` is not a graph edge."""
+        u, v = int(u), int(v)
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise SimulationError(
+                f"cannot disable link ({u}, {v}): endpoint out of range [0, {self._n})"
+            )
+        if not self.graph.has_edge(u, v):
+            raise SimulationError(
+                f"cannot disable link ({u}, {v}): not an edge of the graph"
+            )
+        keys = np.array([u * self._n + v, v * self._n + u], dtype=_I64)
+        self._dead_link_keys = np.unique(
+            np.concatenate([self._dead_link_keys, keys])
+        )
+        return self._drop_queues(
+            lambda a, b: ((a == u) & (b == v)) | ((a == v) & (b == u))
+        )
+
+    def _links_dead(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Boolean mask: is directed link ``(us[i], vs[i])`` dead?"""
+        dk = self._dead_link_keys
+        if dk.size == 0:
+            return np.zeros(us.shape, dtype=bool)
+        q = us * self._n + vs
+        pos = np.searchsorted(dk, q)
+        safe = np.minimum(pos, dk.size - 1)
+        return (pos < dk.size) & (dk[safe] == q)
+
+    # -- injection ----------------------------------------------------------
+
+    def inject_route(self, route: Sequence[int], *, validate: bool = True) -> int:
+        """Inject one packet with an explicit physical route; returns its
+        packet id.  (Convenience wrapper — the fast path is
+        :meth:`inject_routes`.)"""
+        arr = np.array([int(v) for v in route], dtype=_I64)
+        if arr.size < 1:
+            raise SimulationError("route must contain at least the source")
+        pids = self.inject_routes(
+            arr, np.array([0, arr.size], dtype=_I64), validate=validate
+        )
+        return int(pids[0])
+
+    def inject_routes(
+        self, flat: np.ndarray, offsets: np.ndarray, *, validate: bool = True
+    ) -> np.ndarray:
+        """Inject a whole batch of packets at once.
+
+        ``flat``/``offsets`` use the :func:`pack_routes` layout: packet
+        ``i``'s route is ``flat[offsets[i]:offsets[i + 1]]``.  Returns the
+        array of assigned packet ids.  ``validate`` gates the edge-existence
+        check; dead-node and dead-link checks always run (matching
+        :meth:`NetworkSimulator.inject_route`).  Validation is
+        all-or-nothing: on error, no packet of the batch is injected
+        (``NetworkSimulator.inject_routes`` matches).
+        """
+        flat = np.ascontiguousarray(np.asarray(flat, dtype=_I64).ravel())
+        offsets = np.asarray(offsets, dtype=_I64).ravel()
+        if offsets.size < 1 or offsets[0] != 0 or offsets[-1] != flat.size:
+            raise SimulationError("malformed (flat, offsets) route batch")
+        lens = np.diff(offsets)
+        if lens.size == 0:
+            return np.zeros(0, dtype=_I64)
+        if (lens < 1).any():
+            raise SimulationError("route must contain at least the source")
+        if flat.size and (flat.min() < 0 or flat.max() >= self._n):
+            raise SimulationError("route node id out of range")
+        a, b = route_hop_pairs(flat, offsets)
+        if validate and a.size:
+            ok = self.graph.has_edges(a, b)
+            if not ok.all():
+                i = int(np.flatnonzero(~ok)[0])
+                raise SimulationError(f"route hop ({a[i]}, {b[i]}) is not an edge")
+        if a.size:
+            dead_link = self._links_dead(a, b)
+            if dead_link.any():
+                i = int(np.flatnonzero(dead_link)[0])
+                raise SimulationError(f"route uses dead link ({a[i]}, {b[i]})")
+        if flat.size and self._dead[flat].any():
+            v = int(flat[np.flatnonzero(self._dead[flat])[0]])
+            raise SimulationError(f"route passes dead node {v}")
+
+        count = lens.size
+        pid0 = self._n_packets
+        base_flat = self._flat_len
+        pids = np.arange(pid0, pid0 + count, dtype=_I64)
+        self._flat = self._ensure(self._flat, base_flat, flat.size)
+        self._flat[base_flat: base_flat + flat.size] = flat
+        self._off = self._ensure(self._off, pid0 + 1, count)
+        self._off[pid0 + 1: pid0 + 1 + count] = offsets[1:] + base_flat
+        self._injected_at = self._ensure(self._injected_at, pid0, count)
+        self._injected_at[pid0: pid0 + count] = self.cycle
+        self._delivered_at = self._ensure(self._delivered_at, pid0, count)
+        dv = self._delivered_at[pid0: pid0 + count]
+        dv[:] = -1
+        dv[lens == 1] = self.cycle  # degenerate self-delivery
+        self._dropped = self._ensure(self._dropped, pid0, count)
+        self._dropped[pid0: pid0 + count] = False
+        self._n_packets += count
+        self._flat_len += flat.size
+        multi = lens > 1
+        if multi.any():
+            mpid = pids[multi]
+            ptr = self._off[mpid]
+            key = self._flat[ptr] * self._n + self._flat[ptr + 1]
+            self._join(mpid, ptr, key)
+        return pids
+
+    @staticmethod
+    def _ensure(arr: np.ndarray, used: int, extra: int) -> np.ndarray:
+        """Grow ``arr`` (first ``used`` entries live) to hold ``extra``
+        more, doubling capacity so repeated injections stay amortized
+        linear."""
+        need = used + extra
+        if need <= arr.size:
+            return arr
+        out = np.empty(max(need, 2 * arr.size, 1024), dtype=arr.dtype)
+        out[:used] = arr[:used]
+        return out
+
+    # -- queue schedule ------------------------------------------------------
+
+    def _queue_ids(self, keys: np.ndarray) -> np.ndarray:
+        """Dense ids for directed-link keys ``u * n + v``.  Graph edges map
+        to their CSR position (which preserves key order); non-edge queues
+        (only reachable via ``validate=False``) get stable overflow ids."""
+        ek = self._eid_keys
+        if ek.size:
+            pos = np.searchsorted(ek, keys)
+            safe = np.minimum(pos, ek.size - 1)
+            ok = ek[safe] == keys
+        else:
+            safe = np.zeros(keys.shape, dtype=_I64)
+            ok = np.zeros(keys.shape, dtype=bool)
+        if ok.all():
+            return safe
+        eid = safe.copy()
+        grow = 0
+        for i in np.flatnonzero(~ok):
+            k = int(keys[i])
+            ident = self._extra_ids.get(k)
+            if ident is None:
+                ident = ek.size + len(self._extra_ids)
+                self._extra_ids[k] = ident
+                grow += 1
+            eid[i] = ident
+        if grow:
+            self._q_next_slot = np.concatenate(
+                [self._q_next_slot, np.zeros(grow, dtype=_I64)]
+            )
+            self._q_used = np.concatenate([self._q_used, np.zeros(grow, dtype=_I64)])
+        return eid
+
+    def _join(self, pid: np.ndarray, ptr: np.ndarray, key: np.ndarray) -> None:
+        """Enqueue packets (in FIFO processing order) on the queues named
+        by ``key`` at the current cycle: one segmented pass computes every
+        packet's exact departure cycle and files it in the calendar."""
+        if key.size == 1:  # scalar fast path (long drain tails are all 1s)
+            eid = int(self._queue_ids(key)[0])
+            next_slot = int(self._q_next_slot[eid])
+            base = max(self.cycle + 1, next_slot)
+            used = int(self._q_used[eid]) if next_slot == base else 0
+            self._q_next_slot[eid] = base + (used + 1) // self.link_capacity
+            self._q_used[eid] = (used + 1) % self.link_capacity
+            seq = np.array([self._seq], dtype=_I64)
+            self._seq += 1
+            self._in_flight += 1
+            self._file(base, (pid, ptr, key, seq))
+            return
+        order = np.argsort(key, kind="stable")
+        pid, ptr, key = pid[order], ptr[order], key[order]
+        size = key.size
+        first = np.empty(size, dtype=bool)
+        first[0] = True
+        np.not_equal(key[1:], key[:-1], out=first[1:])
+        starts = np.flatnonzero(first)
+        group = np.cumsum(first) - 1
+        offs = np.arange(size, dtype=_I64) - starts[group]
+        eid = self._queue_ids(key[starts])
+        cap = self.link_capacity
+        earliest = self.cycle + 1
+        next_slot = self._q_next_slot[eid]
+        base = np.maximum(earliest, next_slot)
+        used = np.where(next_slot == base, self._q_used[eid], 0)
+        depart = base[group] + (used[group] + offs) // cap
+        sizes = np.empty(starts.size, dtype=_I64)
+        sizes[:-1] = np.diff(starts)
+        sizes[-1] = size - starts[-1]
+        total = used + sizes
+        self._q_next_slot[eid] = base + total // cap
+        self._q_used[eid] = total % cap
+        seq = self._seq + np.arange(size, dtype=_I64)
+        self._seq += size
+        self._in_flight += size
+
+        distinct = np.unique(depart)
+        if distinct.size == 1:
+            self._file(int(distinct[0]), (pid, ptr, key, seq))
+            return
+        d_order = np.argsort(depart, kind="stable")
+        pid, ptr, key, seq = pid[d_order], ptr[d_order], key[d_order], seq[d_order]
+        bounds = np.searchsorted(depart[d_order], distinct)
+        lo = 0
+        for i, cyc in enumerate(distinct):
+            hi = bounds[i + 1] if i + 1 < distinct.size else depart.size
+            self._file(int(cyc), (pid[lo:hi], ptr[lo:hi], key[lo:hi], seq[lo:hi]))
+            lo = hi
+
+    def _file(self, cyc: int, chunk: tuple[np.ndarray, ...]) -> None:
+        """Append a chunk to the calendar bucket for ``cyc``."""
+        bucket = self._buckets.get(cyc)
+        if bucket is None:
+            self._buckets[cyc] = [chunk]
+            heapq.heappush(self._bucket_heap, cyc)
+        else:
+            bucket.append(chunk)
+
+    # -- execution ----------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Packets currently queued on some link."""
+        return self._in_flight
+
+    def step(self) -> int:
+        """Advance one cycle; returns the number of packets delivered."""
+        self.cycle += 1
+        chunks = self._buckets.pop(self.cycle, None)
+        if not chunks:
+            return 0
+        if len(chunks) == 1:
+            pid, ptr, key, seq = chunks[0]
+            if pid.size > 1:
+                order = np.lexsort((seq, key))
+                pid, ptr = pid[order], ptr[order]
+        else:
+            pid = np.concatenate([c[0] for c in chunks])
+            ptr = np.concatenate([c[1] for c in chunks])
+            key = np.concatenate([c[2] for c in chunks])
+            seq = np.concatenate([c[3] for c in chunks])
+            # the object engine serves queues in sorted key order, FIFO within
+            order = np.lexsort((seq, key))
+            pid, ptr = pid[order], ptr[order]
+        ptr = ptr + 1
+        node = self._flat[ptr]
+        node_dead = self._dead[node]
+        at_dst = ptr == self._off[pid + 1] - 1
+        deliver = at_dst & ~node_dead
+        cont = ~at_dst & ~node_dead
+        if cont.any():
+            nxt = self._flat[np.where(cont, ptr + 1, ptr)]
+            blocked = cont & (self._dead[nxt] | self._links_dead(node, nxt))
+            cont &= ~blocked
+        drop = ~deliver & ~cont
+        delivered = int(np.count_nonzero(deliver))
+        if delivered:
+            self._delivered_at[pid[deliver]] = self.cycle
+        if drop.any():
+            self._dropped[pid[drop]] = True
+        self._in_flight -= pid.size  # popped; continuers re-add via _join
+        if cont.any():
+            self._join(pid[cont], ptr[cont], node[cont] * self._n + nxt[cont])
+        return delivered
+
+    def run(self, max_cycles: int = 1_000_000) -> RunStats:
+        """Step until all traffic drains (delivered or dropped), skipping
+        straight over cycles where nothing is scheduled to move."""
+        start = self.cycle
+        while self._in_flight:
+            heap = self._bucket_heap
+            while heap and heap[0] not in self._buckets:
+                heapq.heappop(heap)  # already processed via step()
+            upcoming = heap[0]
+            if upcoming - start > max_cycles:
+                raise SimulationError(
+                    f"simulation did not drain within {max_cycles} cycles"
+                )
+            self.cycle = upcoming - 1
+            self.step()
+        return self.stats()
+
+    # -- records ------------------------------------------------------------
+
+    @property
+    def injected(self) -> int:
+        """Total packets injected so far."""
+        return self._n_packets
+
+    @property
+    def delivered_at(self) -> np.ndarray:
+        """Per-packet delivery cycle, ``-1`` while in flight or dropped."""
+        return self._delivered_at[: self._n_packets].copy()
+
+    @property
+    def dropped_mask(self) -> np.ndarray:
+        """Per-packet dropped flags."""
+        return self._dropped[: self._n_packets].copy()
+
+    def packet_records(self) -> PacketArrays:
+        """Structure-of-arrays view of every packet injected so far."""
+        n = self._n_packets
+        return PacketArrays(
+            injected_at=self._injected_at[:n].copy(),
+            delivered_at=self._delivered_at[:n].copy(),
+            hops=np.diff(self._off[: n + 1]) - 1,
+            dropped=self._dropped[:n].copy(),
+        )
+
+    def stats(self) -> RunStats:
+        """Aggregate statistics over everything injected so far."""
+        return summarize_arrays(self.packet_records(), self.cycle)

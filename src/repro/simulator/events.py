@@ -79,13 +79,25 @@ class EventQueue:
 
     def run_handlers(self, cycle: int, handlers: dict[str, Callable[[Event], None]]) -> int:
         """Dispatch due events to per-kind handlers; unknown kinds raise.
-        Returns the number of events dispatched."""
+        Returns the number of events dispatched.
+
+        The handler is resolved *before* the event is popped, so an
+        unknown kind leaves the event (and everything behind it) on the
+        queue instead of silently losing it mid-drain.
+        """
+        if cycle < self._now:
+            raise SimulationError("run_handlers cycle moved backwards")
+        self._now = int(cycle)
         count = 0
-        for ev in self.drain_until(cycle):
+        while self._heap and self._heap[0].cycle <= cycle:
+            ev = self._heap[0]
             try:
                 handler = handlers[ev.kind]
             except KeyError:
-                raise SimulationError(f"no handler for event kind {ev.kind!r}")
+                raise SimulationError(
+                    f"no handler for event kind {ev.kind!r}"
+                ) from None
+            heapq.heappop(self._heap)
             handler(ev)
             count += 1
         return count

@@ -1,4 +1,15 @@
-"""Simulation metrics: latency, throughput, utilization."""
+"""Simulation metrics: latency, throughput, utilization.
+
+Aggregation is fully vectorized.  Two record shapes feed it:
+
+* a ``list[Packet]`` from the object engine (:class:`NetworkSimulator`);
+* a :class:`PacketArrays` structure-of-arrays record from the vectorized
+  :class:`repro.simulator.batch_engine.BatchEngine`.
+
+Both paths funnel into :func:`summarize_arrays`, so the two engines
+produce bit-identical :class:`RunStats` for identical runs (the golden
+equivalence tests rely on this).
+"""
 
 from __future__ import annotations
 
@@ -8,7 +19,27 @@ import numpy as np
 
 from repro.simulator.packets import Packet
 
-__all__ = ["RunStats", "summarize"]
+__all__ = ["PacketArrays", "RunStats", "summarize", "summarize_arrays"]
+
+
+@dataclass(frozen=True)
+class PacketArrays:
+    """Structure-of-arrays packet records, one row per injected packet.
+
+    ``delivered_at`` uses ``-1`` as the "not delivered" sentinel so the
+    whole record stays in dense int64 arrays.
+    """
+
+    injected_at: np.ndarray
+    delivered_at: np.ndarray
+    hops: np.ndarray
+    dropped: np.ndarray
+
+    def __post_init__(self):
+        n = self.injected_at.shape[0]
+        for name in ("delivered_at", "hops", "dropped"):
+            if getattr(self, name).shape != (n,):
+                raise ValueError(f"PacketArrays field {name!r} has mismatched shape")
 
 
 @dataclass(frozen=True)
@@ -47,13 +78,14 @@ class RunStats:
         )
 
 
-def summarize(packets: list[Packet], cycles: int) -> RunStats:
-    """Aggregate packet records into a :class:`RunStats`."""
-    injected = len(packets)
-    lat = np.array([p.latency for p in packets if p.latency is not None], dtype=np.int64)
-    hops = np.array([p.hops for p in packets if p.latency is not None], dtype=np.int64)
-    dropped = sum(1 for p in packets if p.dropped)
+def summarize_arrays(records: PacketArrays, cycles: int) -> RunStats:
+    """Aggregate a :class:`PacketArrays` record into a :class:`RunStats`."""
+    injected = int(records.injected_at.shape[0])
+    ok = records.delivered_at >= 0
+    lat = (records.delivered_at[ok] - records.injected_at[ok]).astype(np.int64)
+    hops = records.hops[ok].astype(np.int64)
     delivered = int(lat.size)
+    dropped = int(np.count_nonzero(records.dropped))
     return RunStats(
         cycles=int(cycles),
         injected=injected,
@@ -65,3 +97,24 @@ def summarize(packets: list[Packet], cycles: int) -> RunStats:
         mean_hops=float(hops.mean()) if delivered else 0.0,
         throughput=delivered / cycles if cycles else 0.0,
     )
+
+
+def summarize(packets: "list[Packet] | PacketArrays", cycles: int) -> RunStats:
+    """Aggregate packet records into a :class:`RunStats`.
+
+    Accepts either the object engine's ``list[Packet]`` or the batch
+    engine's :class:`PacketArrays`; both reduce through the same
+    vectorized path.
+    """
+    if isinstance(packets, PacketArrays):
+        return summarize_arrays(packets, cycles)
+    records = PacketArrays(
+        injected_at=np.array([p.injected_at for p in packets], dtype=np.int64),
+        delivered_at=np.array(
+            [-1 if p.delivered_at is None else p.delivered_at for p in packets],
+            dtype=np.int64,
+        ),
+        hops=np.array([p.hops for p in packets], dtype=np.int64),
+        dropped=np.array([p.dropped for p in packets], dtype=bool),
+    )
+    return summarize_arrays(records, cycles)

@@ -12,6 +12,17 @@ Model (the unit-time assumptions behind the paper's §V slowdown remarks):
 
 Determinism: link queues are served in sorted key order and FIFO within a
 queue, so a run is a pure function of (graph, injections, schedule).
+
+Two engines implement this model:
+
+* :class:`NetworkSimulator` (this module) — one Python object per packet,
+  one deque per link.  Best for small workloads, debugging, and as the
+  semantic reference.
+* :class:`repro.simulator.batch_engine.BatchEngine` — the same model in
+  structure-of-arrays form, event-driven (packets are touched only on
+  the cycles where they move) with vectorized NumPy arrivals.  Orders of
+  magnitude faster for heavy traffic; golden-tested to produce identical
+  per-packet delivery cycles and drop decisions.
 """
 
 from __future__ import annotations
@@ -57,8 +68,17 @@ class NetworkSimulator:
     def disable_node(self, v: int) -> int:
         """Mark a node dead mid-run.  All packets currently queued on links
         into or out of ``v`` are dropped (they were in the failed router).
-        Returns the number of packets dropped."""
+        Returns the number of packets dropped.
+
+        Raises :class:`SimulationError` when ``v`` is not a node of the
+        graph, so a typo'd fault scenario fails loudly instead of silently
+        doing nothing."""
         v = int(v)
+        if not 0 <= v < self.graph.node_count:
+            raise SimulationError(
+                f"cannot disable node {v}: not a node of the graph "
+                f"[0, {self.graph.node_count})"
+            )
         self._dead.add(v)
         dropped = 0
         for (a, b), q in list(self._queues.items()):
@@ -77,8 +97,20 @@ class NetworkSimulator:
         """Fail the undirected link {u, v} mid-run (paper §I: an edge
         fault; tolerated at the construction level by marking an incident
         node faulty — see :mod:`repro.core.edge_faults`).  Packets queued
-        on either direction are dropped; returns the drop count."""
+        on either direction are dropped; returns the drop count.
+
+        Raises :class:`SimulationError` when ``{u, v}`` is not an edge of
+        the graph (a typo'd fault scenario would otherwise pass untested)."""
         u, v = int(u), int(v)
+        n = self.graph.node_count
+        if not (0 <= u < n and 0 <= v < n):
+            raise SimulationError(
+                f"cannot disable link ({u}, {v}): endpoint out of range [0, {n})"
+            )
+        if not self.graph.has_edge(u, v):
+            raise SimulationError(
+                f"cannot disable link ({u}, {v}): not an edge of the graph"
+            )
         self._dead_links.add((u, v))
         self._dead_links.add((v, u))
         dropped = 0
@@ -92,21 +124,22 @@ class NetworkSimulator:
 
     # -- injection ------------------------------------------------------------
 
-    def inject_route(self, route: list[int], *, validate: bool = True) -> Packet:
-        """Inject one packet with an explicit physical route."""
+    def _validate_route(self, route: list[int], validate: bool) -> None:
         if len(route) < 1:
             raise SimulationError("route must contain at least the source")
         if validate:
             for a, b in zip(route, route[1:]):
-                if not self.graph.has_edge(int(a), int(b)):
+                if not self.graph.has_edge(a, b):
                     raise SimulationError(f"route hop ({a}, {b}) is not an edge")
         for a, b in zip(route, route[1:]):
-            if (int(a), int(b)) in self._dead_links:
+            if (a, b) in self._dead_links:
                 raise SimulationError(f"route uses dead link ({a}, {b})")
         for v in route:
-            if int(v) in self._dead:
+            if v in self._dead:
                 raise SimulationError(f"route passes dead node {v}")
-        pkt = Packet(self._next_pid, [int(v) for v in route], self.cycle)
+
+    def _commit_route(self, route: list[int]) -> Packet:
+        pkt = Packet(self._next_pid, route, self.cycle)
         self._next_pid += 1
         self.packets.append(pkt)
         if len(route) == 1:
@@ -114,6 +147,12 @@ class NetworkSimulator:
         else:
             self._enqueue(pkt, 0)
         return pkt
+
+    def inject_route(self, route: list[int], *, validate: bool = True) -> Packet:
+        """Inject one packet with an explicit physical route."""
+        route = [int(v) for v in route]
+        self._validate_route(route, validate)
+        return self._commit_route(route)
 
     def inject(
         self,
@@ -127,6 +166,28 @@ class NetworkSimulator:
             self.inject_route(router(int(s), int(d)), validate=validate)
             for s, d in pairs
         ]
+
+    def inject_routes(
+        self, flat: np.ndarray, offsets: np.ndarray, *, validate: bool = True
+    ) -> list[Packet]:
+        """Inject a batch of packets in the flattened ``(flat, offsets)``
+        layout shared with :class:`repro.simulator.batch_engine.BatchEngine`
+        (see :func:`repro.simulator.batch_engine.pack_routes`).
+
+        Validation is all-or-nothing, matching the batch engine: the whole
+        batch is checked before the first packet is injected, so an invalid
+        route leaves no partial state behind."""
+        flat = np.asarray(flat, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.size < 1 or offsets[0] != 0 or offsets[-1] != flat.size:
+            raise SimulationError("malformed (flat, offsets) route batch")
+        routes = [
+            [int(v) for v in flat[offsets[i]: offsets[i + 1]]]
+            for i in range(offsets.size - 1)
+        ]
+        for route in routes:
+            self._validate_route(route, validate)
+        return [self._commit_route(route) for route in routes]
 
     def _enqueue(self, pkt: Packet, hop_index: int) -> None:
         key = (pkt.route[hop_index], pkt.route[hop_index + 1])

@@ -15,6 +15,8 @@ import numpy as np
 from repro.errors import ParameterError
 
 __all__ = [
+    "PATTERN_NAMES",
+    "make_pattern",
     "uniform_traffic",
     "transpose_traffic",
     "bit_reversal_traffic",
@@ -23,6 +25,16 @@ __all__ = [
     "all_to_all_traffic",
     "descend_superstep_traffic",
 ]
+
+PATTERN_NAMES = (
+    "uniform",
+    "transpose",
+    "bit-reversal",
+    "hotspot",
+    "permutation",
+    "all-to-all",
+    "descend",
+)
 
 
 def _check_pow2(n: int) -> int:
@@ -95,6 +107,48 @@ def all_to_all_traffic(n: int) -> np.ndarray:
     dst = np.tile(np.arange(n, dtype=np.int64), n)
     mask = src != dst
     return np.column_stack([src[mask], dst[mask]])
+
+
+def make_pattern(
+    n: int, name: str, msgs: int = 0, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Build any named traffic pattern (one of :data:`PATTERN_NAMES`).
+
+    Random patterns (``uniform``, ``hotspot``) draw exactly ``msgs``
+    messages from ``rng``.  Deterministic patterns are tiled/trimmed to
+    ``msgs`` rows when ``msgs > 0`` (repeats raise contention — the heavy
+    traffic regime), or returned at their canonical size when ``msgs`` is
+    0.  Used by the engine benchmarks so every pattern scales to any
+    workload size.
+    """
+    if name == "uniform":
+        if rng is None or msgs <= 0:
+            raise ParameterError("uniform pattern needs msgs > 0 and an rng")
+        return uniform_traffic(n, msgs, rng)
+    if name == "hotspot":
+        if rng is None or msgs <= 0:
+            raise ParameterError("hotspot pattern needs msgs > 0 and an rng")
+        return hotspot_traffic(n, msgs, rng)
+    if name == "permutation":
+        if rng is None:
+            raise ParameterError("permutation pattern needs an rng")
+        base = permutation_traffic(n, rng)
+    elif name == "transpose":
+        base = transpose_traffic(n)
+    elif name == "bit-reversal":
+        base = bit_reversal_traffic(n)
+    elif name == "all-to-all":
+        base = all_to_all_traffic(n)
+    elif name == "descend":
+        base = descend_superstep_traffic(n)
+    else:
+        raise ParameterError(
+            f"unknown traffic pattern {name!r}; expected one of {PATTERN_NAMES}"
+        )
+    if msgs <= 0 or base.shape[0] == 0:
+        return base
+    reps = -(-msgs // base.shape[0])  # ceil division
+    return np.tile(base, (reps, 1))[:msgs]
 
 
 def descend_superstep_traffic(n: int) -> np.ndarray:

@@ -1,0 +1,280 @@
+"""Golden equivalence tests: ``BatchEngine`` is a drop-in semantic twin
+of ``NetworkSimulator``.
+
+Every test runs the same (graph, injections, fault schedule) through
+both engines and asserts *bit-identical* ``RunStats`` plus identical
+per-packet delivery cycles and drop decisions — across all seven traffic
+patterns, a small ``(m, h, k)`` grid, node and link faults, staggered
+injections, and link capacities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import debruijn, ft_debruijn
+from repro.errors import SimulationError
+from repro.graphs import path
+from repro.routing import shift_route
+from repro.simulator import (
+    BatchEngine,
+    FaultScenario,
+    NetworkSimulator,
+    PacketArrays,
+    ReconfigurationController,
+    make_pattern,
+    pack_routes,
+    summarize,
+    uniform_traffic,
+)
+from repro.simulator.traffic import PATTERN_NAMES
+
+
+def object_records(sim: NetworkSimulator) -> tuple[np.ndarray, np.ndarray]:
+    """(delivered_at, dropped) arrays in pid order from the object engine."""
+    delivered = np.array(
+        [-1 if p.delivered_at is None else p.delivered_at for p in sim.packets],
+        dtype=np.int64,
+    )
+    dropped = np.array([p.dropped for p in sim.packets], dtype=bool)
+    return delivered, dropped
+
+
+def assert_twins(sim: NetworkSimulator, be: BatchEngine) -> None:
+    """Full equivalence check: stats, delivery cycles, drop decisions."""
+    assert sim.cycle == be.cycle
+    assert sim.stats() == be.stats()
+    obj_delivered, obj_dropped = object_records(sim)
+    np.testing.assert_array_equal(obj_delivered, be.delivered_at)
+    np.testing.assert_array_equal(obj_dropped, be.dropped_mask)
+
+
+class TestGoldenEquivalenceGrid:
+    """All seven patterns, with and without faults, over an (m, h, k) grid."""
+
+    @pytest.mark.parametrize("pattern", PATTERN_NAMES)
+    @pytest.mark.parametrize("m,h,k", [(2, 3, 1), (2, 4, 2), (3, 3, 1)])
+    def test_pattern_no_faults(self, pattern, m, h, k):
+        n = m ** h
+        if pattern in ("transpose",) and int(round(n ** 0.5)) ** 2 != n:
+            pytest.skip("transpose needs a square node count")
+        if pattern in ("bit-reversal", "descend") and n & (n - 1):
+            pytest.skip("pattern needs a power-of-two node count")
+        pairs = make_pattern(n, pattern, 200, np.random.default_rng(5))
+        a = ReconfigurationController(m, h, k, engine="object")
+        sa = a.run_workload([pairs.copy()])
+        b = ReconfigurationController(m, h, k, engine="batch")
+        sb = b.run_workload([pairs.copy()])
+        assert sa == sb
+        assert_twins(a.sim, b.sim)
+
+    @pytest.mark.parametrize("pattern", PATTERN_NAMES)
+    def test_pattern_with_mid_run_node_faults(self, pattern):
+        m, h, k = 2, 4, 2
+        n = m ** h
+        pairs = make_pattern(n, pattern, 150, np.random.default_rng(11))
+        batches = [pairs[: len(pairs) // 2], pairs[len(pairs) // 2:]]
+        scenario = FaultScenario([(2, 6), (8, 11)])
+        a = ReconfigurationController(m, h, k, engine="object")
+        a.schedule(scenario)
+        sa = a.run_workload([x.copy() for x in batches], cycles_per_batch=3)
+        b = ReconfigurationController(m, h, k, engine="batch")
+        b.schedule(FaultScenario(list(scenario.node_faults)))
+        sb = b.run_workload([x.copy() for x in batches], cycles_per_batch=3)
+        assert sa == sb
+        assert a.fault_log == b.fault_log
+        assert a.lost_to_faults == b.lost_to_faults
+        assert_twins(a.sim, b.sim)
+
+
+class TestEngineDirectEquivalence:
+    """Drive both engines by hand: staggered injections, link faults,
+    capacities."""
+
+    def _routes(self, h=5, count=300, seed=3):
+        pairs = uniform_traffic(2 ** h, count, np.random.default_rng(seed))
+        return [shift_route(int(s), int(d), 2, h) for s, d in pairs]
+
+    @pytest.mark.parametrize("capacity", [1, 2, 4])
+    def test_capacity_equivalence(self, capacity):
+        g = debruijn(2, 5)
+        routes = self._routes()
+        sim = NetworkSimulator(g, link_capacity=capacity)
+        for r in routes:
+            sim.inject_route(r)
+        sim.run()
+        be = BatchEngine(g, link_capacity=capacity)
+        be.inject_routes(*pack_routes(routes))
+        be.run()
+        assert_twins(sim, be)
+
+    def test_staggered_injection_equivalence(self):
+        g = debruijn(2, 5)
+        routes = self._routes(count=400, seed=9)
+        sim, be = NetworkSimulator(g), BatchEngine(g)
+        for lo, hi, steps in [(0, 150, 2), (150, 300, 3), (300, 400, 0)]:
+            for r in routes[lo:hi]:
+                sim.inject_route(r)
+            be.inject_routes(*pack_routes(routes[lo:hi]))
+            for _ in range(steps):
+                sim.step()
+                be.step()
+        sim.run()
+        be.run()
+        assert_twins(sim, be)
+
+    def test_mid_run_link_fault_equivalence(self):
+        g = debruijn(2, 5)
+        routes = self._routes(seed=13)
+        edge = tuple(map(int, g.edges()[7]))
+
+        def drive(engine):
+            if isinstance(engine, BatchEngine):
+                engine.inject_routes(*pack_routes(routes))
+            else:
+                for r in routes:
+                    engine.inject_route(r)
+            engine.step()
+            engine.step()
+            drops = engine.disable_link(*edge)
+            engine.run()
+            return drops
+
+        sim, be = NetworkSimulator(g), BatchEngine(g)
+        assert drive(sim) == drive(be)
+        assert_twins(sim, be)
+
+    def test_mid_run_node_fault_drop_counts(self):
+        g = debruijn(2, 5)
+        routes = self._routes(seed=21)
+        sim, be = NetworkSimulator(g), BatchEngine(g)
+        for r in routes:
+            sim.inject_route(r)
+        be.inject_routes(*pack_routes(routes))
+        sim.step()
+        be.step()
+        assert sim.disable_node(11) == be.disable_node(11)
+        sim.run()
+        be.run()
+        assert_twins(sim, be)
+
+    def test_self_delivery_and_single_hop(self):
+        g = path(3)
+        sim, be = NetworkSimulator(g), BatchEngine(g)
+        routes = [[1], [0, 1], [2, 1, 0]]
+        for r in routes:
+            sim.inject_route(r)
+        be.inject_routes(*pack_routes(routes))
+        sim.run()
+        be.run()
+        assert_twins(sim, be)
+        assert be.delivered_at[0] == 0  # degenerate self-delivery at cycle 0
+
+
+class TestBatchEngineValidation:
+    """The batch engine enforces the same injection/fault protocol."""
+
+    def test_invalid_route_rejected(self):
+        be = BatchEngine(path(3))
+        with pytest.raises(SimulationError):
+            be.inject_route([0, 2])
+
+    def test_empty_route_rejected(self):
+        be = BatchEngine(path(2))
+        with pytest.raises(SimulationError):
+            be.inject_route([])
+
+    def test_dead_link_injection_rejected(self):
+        be = BatchEngine(path(3))
+        be.disable_link(1, 2)
+        with pytest.raises(SimulationError):
+            be.inject_route([0, 1, 2])
+
+    def test_dead_node_injection_rejected(self):
+        be = BatchEngine(path(3))
+        be.disable_node(1)
+        with pytest.raises(SimulationError):
+            be.inject_route([0, 1, 2])
+
+    def test_disable_link_requires_real_edge(self):
+        be = BatchEngine(path(3))
+        with pytest.raises(SimulationError):
+            be.disable_link(0, 2)
+        with pytest.raises(SimulationError):
+            be.disable_link(0, 9)
+
+    def test_disable_node_requires_real_node(self):
+        be = BatchEngine(path(3))
+        with pytest.raises(SimulationError):
+            be.disable_node(5)
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            BatchEngine(path(2), link_capacity=0)
+
+    def test_run_guard(self):
+        be = BatchEngine(debruijn(2, 3))
+        be.inject_route([0, 1, 2])
+        with pytest.raises(SimulationError):
+            be.run(max_cycles=0)
+
+    def test_malformed_offsets_rejected(self):
+        be = BatchEngine(path(3))
+        with pytest.raises(SimulationError):
+            be.inject_routes(np.array([0, 1]), np.array([0, 1]))  # bad tail
+
+
+class TestVectorizedSummarize:
+    def test_packet_arrays_summarize_matches_object_path(self):
+        g = path(4)
+        sim = NetworkSimulator(g)
+        sim.inject_route([0, 1, 2, 3])
+        sim.inject_route([3, 2])
+        sim.run()
+        records = PacketArrays(
+            injected_at=np.array([0, 0], dtype=np.int64),
+            delivered_at=np.array(
+                [sim.packets[0].delivered_at, sim.packets[1].delivered_at],
+                dtype=np.int64,
+            ),
+            hops=np.array([3, 1], dtype=np.int64),
+            dropped=np.array([False, False]),
+        )
+        assert summarize(records, sim.cycle) == sim.stats()
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            PacketArrays(
+                injected_at=np.zeros(2, dtype=np.int64),
+                delivered_at=np.zeros(3, dtype=np.int64),
+                hops=np.zeros(2, dtype=np.int64),
+                dropped=np.zeros(2, dtype=bool),
+            )
+
+
+class TestControllersOnBatchEngine:
+    def test_detour_controller_batch_engine(self):
+        from repro.simulator import DetourController
+
+        pairs = uniform_traffic(16, 150, np.random.default_rng(17))
+        a = DetourController(2, 4, engine="object")
+        a.fail_node(4)
+        sa = a.run_workload([pairs.copy()])
+        b = DetourController(2, 4, engine="batch")
+        b.fail_node(4)
+        sb = b.run_workload([pairs.copy()])
+        assert sa == sb
+        assert a.unreachable_pairs == b.unreachable_pairs
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError):
+            ReconfigurationController(2, 3, 1, engine="quantum")
+
+    def test_ft_full_delivery_after_fault_batch(self):
+        ctrl = ReconfigurationController(2, 4, 2, engine="batch")
+        ctrl.schedule(FaultScenario([(0, 3), (0, 11)]))
+        batches = [uniform_traffic(16, 60, np.random.default_rng(1)) for _ in range(2)]
+        st = ctrl.run_workload(batches)
+        assert st.delivered == 120
+        assert ctrl.rec.faults == (3, 11)

@@ -37,6 +37,21 @@ class TestLinkFaults:
         sim.run()
         assert pkt.dropped and pkt.delivered_at is None
 
+    def test_disable_link_requires_real_edge(self):
+        """Typo'd fault scenarios must fail loudly, not pass untested."""
+        sim = NetworkSimulator(path(3))
+        with pytest.raises(SimulationError):
+            sim.disable_link(0, 2)  # nodes exist, edge does not
+        with pytest.raises(SimulationError):
+            sim.disable_link(0, 7)  # endpoint out of range
+
+    def test_disable_node_requires_real_node(self):
+        sim = NetworkSimulator(path(3))
+        with pytest.raises(SimulationError):
+            sim.disable_node(3)
+        with pytest.raises(SimulationError):
+            sim.disable_node(-1)
+
     def test_other_links_unaffected(self):
         g = path(4)
         sim = NetworkSimulator(g)

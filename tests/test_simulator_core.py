@@ -54,6 +54,21 @@ class TestEventQueue:
         with pytest.raises(SimulationError):
             q.run_handlers(5, {})
 
+    def test_unknown_kind_keeps_event(self):
+        """A failed dispatch must not lose the event nor half-drain the
+        queue: peek-then-pop leaves everything in place for a retry."""
+        q = EventQueue()
+        q.schedule(1, "weird", payload="precious")
+        q.schedule(2, "also-queued")
+        with pytest.raises(SimulationError):
+            q.run_handlers(5, {"also-queued": lambda ev: None})
+        assert len(q) == 2  # nothing was popped
+        seen = []
+        handlers = {"weird": lambda ev: seen.append(ev.payload),
+                    "also-queued": lambda ev: None}
+        assert q.run_handlers(5, handlers) == 2  # retry succeeds in order
+        assert seen == ["precious"]
+
 
 class TestPacket:
     def test_properties(self):

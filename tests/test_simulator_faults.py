@@ -52,14 +52,39 @@ class TestReconfigurationController:
         assert sa.mean_latency == pytest.approx(sb.mean_latency, rel=0.25)
 
     def test_mid_run_fault_drops_then_recovers(self, rng):
+        """Honest timing: a fault at cycle 1 fires mid-drain of the first
+        batch (taking whatever was queued in the dead router with it);
+        the post-fault batch routes around the dead node and every packet
+        is accounted for as delivered or dropped."""
         ctrl = ReconfigurationController(2, 4, 1)
         ctrl.schedule(FaultScenario([(1, 6)]))
         b1 = uniform_traffic(16, 40, rng)
         b2 = uniform_traffic(16, 40, rng)
         st = ctrl.run_workload([b1, b2], cycles_per_batch=2)
-        # everything injected before the fault drains first (run() drains),
-        # so no losses; post-fault batch routes around node 6
-        assert st.delivered == 80
+        assert ctrl.fault_log == [(1, 6)]
+        assert st.delivered + st.dropped == 80
+        assert st.delivered >= 40  # the post-fault batch flows untouched
+
+    def test_fault_fires_at_scheduled_cycle(self, rng):
+        """Regression for the mid-batch timing bug: a fault scheduled at
+        cycle c fires at exactly cycle c — mid-drain or inside an idle
+        gap — never a full batch late."""
+        ctrl = ReconfigurationController(2, 4, 2)
+        ctrl.schedule(FaultScenario([(5, 3), (12, 11)]))
+        batches = [uniform_traffic(16, 40, rng) for _ in range(3)]
+        ctrl.run_workload(batches, cycles_per_batch=10)
+        assert ctrl.fault_log == [(5, 3), (12, 11)]
+
+    def test_idle_gap_honors_fixed_timeline(self):
+        """cycles_per_batch idles *before* each subsequent batch, so an
+        all-empty workload still advances the clock and fires the fault
+        scheduled inside the second gap at its exact cycle."""
+        ctrl = ReconfigurationController(2, 4, 1)
+        ctrl.schedule(FaultScenario([(7, 5)]))
+        empty = np.empty((0, 2), dtype=np.int64)
+        st = ctrl.run_workload([empty, empty, empty], cycles_per_batch=5)
+        assert ctrl.fault_log == [(7, 5)]
+        assert st.cycles == 10
 
     def test_budget_violation_raises(self, rng):
         ctrl = ReconfigurationController(2, 3, 1)

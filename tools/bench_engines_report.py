@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Engine performance tracker: race ``NetworkSimulator`` vs ``BatchEngine``
+on a suite of workloads and write ``BENCH_engines.json`` at the repo root,
+so the perf trajectory is tracked from PR to PR.
+
+Two row kinds:
+
+* ``driver="engine"`` — each engine runs its *native pipeline*, exactly
+  as a caller would drive it: the object engine routes per pair (scalar
+  ``shift_route`` lifted through φ, the pre-batch-engine workflow) and
+  injects packet by packet; the batch engine routes, lifts, and injects
+  whole arrays.  Static faults are applied before routing.  This is the
+  acceptance gate: the ≥ 100k-packet uniform row on ``B^1_{2,10}`` must
+  clear 10x with bit-identical stats and per-packet delivery cycles.
+* ``driver="controller"`` — both engines behind the same
+  ``ReconfigurationController`` with a mid-run fault schedule (routing
+  is shared and vectorized for both, so the ratio isolates pure
+  simulation speed under honest fault timing).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_engines_report.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import ft_debruijn  # noqa: E402
+from repro.core.reconfiguration import Reconfigurator  # noqa: E402
+from repro.routing import lifted_routes_batch, shift_route  # noqa: E402
+from repro.simulator import (  # noqa: E402
+    BatchEngine,
+    FaultScenario,
+    NetworkSimulator,
+    ReconfigurationController,
+    make_pattern,
+)
+
+# (driver, pattern, m, h, k, packets, faults)
+#   engine rows:     faults = static dead physical nodes
+#   controller rows: faults = (cycle, node) mid-run schedule
+FULL_SUITE = [
+    ("engine", "uniform", 2, 10, 1, 100_000, []),
+    ("engine", "uniform", 2, 8, 2, 20_000, [40]),
+    ("engine", "transpose", 2, 8, 1, 20_000, []),
+    ("engine", "hotspot", 2, 8, 1, 20_000, []),
+    ("engine", "descend", 2, 9, 1, 50_000, []),
+    ("controller", "uniform", 2, 8, 2, 20_000, [(5, 40)]),
+]
+QUICK_SUITE = [
+    ("engine", "uniform", 2, 7, 1, 5_000, []),
+    ("controller", "uniform", 2, 6, 1, 4_000, [(3, 9)]),
+]
+
+
+def run_engine_row(pattern, m, h, k, packets, fault_nodes, seed=0):
+    """Race the two engines through their native pipelines."""
+    n = m ** h
+    pairs = make_pattern(n, pattern, packets, np.random.default_rng(seed))
+    ft = ft_debruijn(m, h, k)
+    rec = Reconfigurator(ft.node_count, n)
+    for node in fault_nodes:
+        rec.fail_node(int(node))
+    phi = rec.phi()
+
+    t0 = time.perf_counter()
+    sim = NetworkSimulator(ft)
+    for node in fault_nodes:
+        sim.disable_node(int(node))
+    for s, d in pairs:
+        logical = shift_route(int(s), int(d), m, h)
+        sim.inject_route([int(phi[v]) for v in logical])
+    s_obj = sim.run()
+    t_obj = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    be = BatchEngine(ft)
+    for node in fault_nodes:
+        be.disable_node(int(node))
+    flat, offsets = lifted_routes_batch(m, h, phi, pairs[:, 0], pairs[:, 1])
+    be.inject_routes(flat, offsets)
+    s_bat = be.run()
+    t_bat = time.perf_counter() - t0
+
+    obj_delivered = np.array(
+        [-1 if p.delivered_at is None else p.delivered_at for p in sim.packets],
+        dtype=np.int64,
+    )
+    identical = (
+        s_obj == s_bat
+        and np.array_equal(obj_delivered, be.delivered_at)
+        and np.array_equal(
+            np.array([p.dropped for p in sim.packets]), be.dropped_mask
+        )
+    )
+    return t_obj, t_bat, s_bat, identical, int(pairs.shape[0])
+
+
+def run_controller_row(pattern, m, h, k, packets, faults, seed=0):
+    """Race the two engines behind the same mid-run fault controller."""
+    n = m ** h
+    pairs = make_pattern(n, pattern, packets, np.random.default_rng(seed))
+    times, stats = {}, {}
+    for engine in ("object", "batch"):
+        ctrl = ReconfigurationController(m, h, k, engine=engine)
+        ctrl.schedule(FaultScenario([tuple(f) for f in faults]))
+        t0 = time.perf_counter()
+        stats[engine] = ctrl.run_workload([pairs.copy()])
+        times[engine] = time.perf_counter() - t0
+    identical = stats["object"] == stats["batch"]
+    return times["object"], times["batch"], stats["batch"], identical, int(pairs.shape[0])
+
+
+def run_config(driver, pattern, m, h, k, packets, faults, seed=0):
+    if driver == "engine":
+        t_obj, t_bat, st, identical, count = run_engine_row(
+            pattern, m, h, k, packets, faults, seed
+        )
+    else:
+        t_obj, t_bat, st, identical, count = run_controller_row(
+            pattern, m, h, k, packets, faults, seed
+        )
+    return {
+        "driver": driver, "pattern": pattern, "m": m, "h": h, "k": k,
+        "packets": count,
+        "faults": [list(f) if isinstance(f, tuple) else int(f) for f in faults],
+        "object_seconds": round(t_obj, 4),
+        "batch_seconds": round(t_bat, 4),
+        "cycles": st.cycles,
+        "delivered": st.delivered,
+        "dropped": st.dropped,
+        "speedup": round(t_obj / t_bat, 2),
+        "identical_stats": identical,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="small configs only (seconds, for smoke-testing)")
+    ap.add_argument("--out", default=None, help="output path for the JSON report")
+    args = ap.parse_args(argv)
+
+    suite = QUICK_SUITE if args.quick else FULL_SUITE
+    rows = []
+    for cfg in suite:
+        row = run_config(*cfg)
+        rows.append(row)
+        print(
+            f"{row['driver']:>10} {row['pattern']:>10} "
+            f"B^{row['k']}_{{{row['m']},{row['h']}}} {row['packets']:>7} pkts  "
+            f"object {row['object_seconds']:8.3f}s  "
+            f"batch {row['batch_seconds']:7.3f}s  {row['speedup']:6.1f}x  "
+            f"identical={row['identical_stats']}"
+        )
+
+    report = {
+        "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "suite": "quick" if args.quick else "full",
+        "results": rows,
+    }
+    out_path = pathlib.Path(
+        args.out
+        or pathlib.Path(__file__).resolve().parent.parent / "BENCH_engines.json"
+    )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    ok = all(r["identical_stats"] for r in rows)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
