@@ -13,7 +13,6 @@ REL: survival probabilities, FT vs bare, closed-form + Monte-Carlo.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import (
     extra_spare_search,

@@ -7,14 +7,12 @@ Hayes-model search strategy — each with its structural assertion.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import bound_attainment_frontier, degree_profile
 from repro.core import (
     bus_degree_bound_basem,
     bus_ft_debruijn_basem,
     de_bruijn_sequence,
-    debruijn,
     exhaustive_tolerance_check,
     ft_debruijn,
     hamiltonian_cycle,

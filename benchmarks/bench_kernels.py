@@ -8,7 +8,6 @@ experiment, so they are tracked explicitly.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core import debruijn, ft_debruijn, rank_remap
 from repro.graphs import StaticGraph

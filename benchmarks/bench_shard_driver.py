@@ -1,0 +1,106 @@
+"""Bench SHARD DRIVER: the multi-process scenario sweep vs single-process.
+
+Two claims are measured: the shard reducer is *exact* (merged aggregate
+``RunStats`` bit-identical to the inline run, every scenario, every
+worker count) and the pool turns idle cores into wall-clock speedup
+(recorded in ``BENCH_engines.json`` as the ``driver="sweep"`` rows; on a
+single-core box the ratio is honestly ~1x, so the speedup itself is
+reported rather than asserted here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator import (
+    ReconfigurationController,
+    Scenario,
+    ScenarioGrid,
+    ShardStats,
+    make_pattern,
+    run_grid,
+)
+
+from benchmarks.conftest import once
+
+
+def _grid() -> ScenarioGrid:
+    return ScenarioGrid(
+        mhk=[(2, 7, 1), (2, 8, 1)],
+        patterns=["uniform", "hotspot"],
+        loads=[8_000],
+        fault_sets=[(), ((0, 20),)],
+        seeds=[0],
+    )
+
+
+def test_sweep_merge_is_exact(benchmark):
+    """Multi-process sweep == inline sweep, scenario by scenario and in
+    the merged aggregate (the reducer never approximates)."""
+    grid = _grid()
+
+    def both():
+        return run_grid(grid, workers=2), run_grid(grid, workers=0)
+
+    sharded, single = once(benchmark, both)
+    assert sharded.aggregate_stats == single.aggregate_stats
+    for a, b in zip(sharded.results, single.results):
+        assert a.run_stats == b.run_stats
+    assert len(sharded.results) == len(grid) == 8
+
+
+def test_per_batch_shards_match_sequential_engine(benchmark):
+    """A scenario split over 4 batch-shards merges to the bit-identical
+    RunStats of one BatchEngine draining the batches sequentially."""
+    sc = Scenario(m=2, h=7, k=1, pattern="uniform", packets=20_000,
+                  batches=4, shards=4, seed=3)
+
+    def both():
+        sharded = run_grid([sc], workers=2).results[0].run_stats
+        ctrl = ReconfigurationController(2, 7, 1, engine="batch")
+        pairs = make_pattern(128, "uniform", 20_000, np.random.default_rng(3))
+        single = ctrl.run_workload(np.array_split(pairs, 4))
+        return sharded, single
+
+    sharded, single = once(benchmark, both)
+    assert sharded == single
+    assert sharded.delivered == 20_000
+
+
+def test_sharded_engine_behind_controller(benchmark):
+    """engine="sharded" through the controller: same stats as
+    engine="batch" when faults fire at batch boundaries."""
+    pairs = make_pattern(256, "uniform", 30_000, np.random.default_rng(9))
+    batches = np.array_split(pairs, 6)
+
+    def both():
+        a = ReconfigurationController(2, 8, 1, engine="batch")
+        sa = a.run_workload([b.copy() for b in batches])
+        b = ReconfigurationController(2, 8, 1, engine="sharded", workers=2)
+        sb = b.run_workload([x.copy() for x in batches])
+        return sa, sb
+
+    sa, sb = once(benchmark, both)
+    assert sa == sb
+    assert sa.delivered == 30_000
+
+
+def test_merge_scales_vectorized(benchmark):
+    """The reducer itself is vectorized: merging a thousand shard records
+    is sub-second work, independent of packet counts."""
+    rng = np.random.default_rng(0)
+    shards = []
+    for _ in range(1_000):
+        lat = rng.integers(1, 400, size=2_000).astype(np.int64)
+        values, counts = np.unique(lat, return_counts=True)
+        shards.append(ShardStats(
+            cycles=int(lat.max()), injected=2_000, delivered=2_000, dropped=0,
+            lat_values=values, lat_counts=counts.astype(np.int64),
+            hop_values=values % 12 + 1, hop_counts=counts.astype(np.int64),
+        ))
+
+    merged = once(benchmark, lambda: ShardStats.merge(shards))
+    assert merged.injected == 2_000_000
+    assert merged.delivered == 2_000_000
+    stats = merged.to_run_stats()
+    assert stats.delivered == 2_000_000

@@ -6,7 +6,6 @@ and 2 executable, and check the corollaries' node/degree numbers.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.reporting import exp_cor14, exp_thm1, exp_thm2
 from repro.core import (

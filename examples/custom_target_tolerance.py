@@ -18,7 +18,6 @@ Run:  python examples/custom_target_tolerance.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import ToleranceViolation, StaticGraph
 from repro.core import exhaustive_tolerance_check

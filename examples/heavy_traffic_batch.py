@@ -65,7 +65,7 @@ def main() -> None:
         results[engine] = (c.run_workload([slice_pairs.copy()]),
                            time.perf_counter() - t0)
     (s_obj, t_obj), (s_bat, t_bat) = results["object"], results["batch"]
-    print(f"\nengine race on 5k packets with a mid-drain fault:")
+    print("\nengine race on 5k packets with a mid-drain fault:")
     print(f"  object {t_obj:6.3f} s   batch {t_bat:6.3f} s   "
           f"speedup {t_obj / t_bat:.1f}x   identical stats: {s_obj == s_bat}")
 

@@ -46,8 +46,8 @@ def main() -> int:
     print(relabeled_listing(ft.node_count, rec.phi(), [fault], 2, h))
 
     # --- verify: the embedding is a real subgraph certificate --------------
-    phi = embed_after_faults(ft, target, faults=[fault])
-    print(f"\nembedding verified: logical edge set intact, zero dilation")
+    embed_after_faults(ft, target, faults=[fault])  # raises on any defect
+    print("\nembedding verified: logical edge set intact, zero dilation")
     print(f"delta vector (Lemma 1: monotone, in [0, {k}]): {list(rec.delta())}")
 
     # --- the theorem, not just one fault ------------------------------------

@@ -51,7 +51,7 @@ def main() -> int:
     for frame_no in range(6):
         if frame_no == 3:
             machine.fail_node(11)
-            print(f"*** processor 11 dies between frames 2 and 3 ***")
+            print("*** processor 11 dies between frames 2 and 3 ***")
         frame = make_frame(n, frame_no * n, rng)
         spectrum, trace = fft(frame, backend="debruijn", node_map=machine.rec.phi())
         expected = np.fft.fft(frame)

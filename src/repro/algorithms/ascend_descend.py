@@ -103,7 +103,8 @@ class HypercubeRunner:
         self.h = validate_h(h)
         self.n = 1 << h
 
-    def run(self, values: Sequence, schedule: Sequence[int], op: PairOp) -> tuple[list, EmulationTrace]:
+    def run(self, values: Sequence, schedule: Sequence[int],
+            op: PairOp) -> tuple[list, EmulationTrace]:
         vals = list(values)
         trace = EmulationTrace()
         for bit in schedule:

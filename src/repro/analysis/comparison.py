@@ -18,7 +18,7 @@ from repro.core.baselines import (
     sp_reported_degree,
 )
 from repro.core.buses import bus_degree_bound, bus_ft_debruijn
-from repro.core.fault_tolerant import ft_debruijn, ft_degree_bound, ft_node_count
+from repro.core.fault_tolerant import ft_debruijn, ft_degree_bound
 
 __all__ = ["ComparisonRow", "comparison_base2", "comparison_basem", "se_comparison"]
 

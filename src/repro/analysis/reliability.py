@@ -64,7 +64,8 @@ def monte_carlo_survival(
     return float((fails.sum(axis=1) <= k).mean())
 
 
-def reliability_table(n_target: int, k_values=(0, 1, 2, 4), q_values=(1e-3, 1e-2, 5e-2)) -> list[dict]:
+def reliability_table(n_target: int, k_values=(0, 1, 2, 4),
+                      q_values=(1e-3, 1e-2, 5e-2)) -> list[dict]:
     """REL experiment: survival probabilities across spare counts and
     failure rates, FT vs bare."""
     rows = []

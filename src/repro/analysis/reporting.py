@@ -229,7 +229,8 @@ def exp_thm2() -> Report:
     rows = []
     for m, h, k in [(3, 3, 1), (3, 3, 2), (4, 3, 1), (5, 3, 1)]:
         rep = exhaustive_tolerance_check(ft_debruijn(m, h, k), debruijn(m, h), k)
-        rows.append({"m": m, "h": h, "k": k, "fault_sets": rep.total, "result": "OK" if rep.ok else "FAIL"})
+        rows.append({"m": m, "h": h, "k": k, "fault_sets": rep.total,
+                     "result": "OK" if rep.ok else "FAIL"})
     return Report(
         "THM2",
         "Theorem 2: B^k_{m,h} is (k, B_{m,h})-tolerant (exhaustive)",
@@ -593,7 +594,6 @@ def exp_sealg() -> Report:
         bitonic_sort_on_shuffle_exchange,
         fft,
     )
-    from repro.algorithms.ascend_descend import descend_schedule
 
     h = 5
     n = 1 << h
@@ -628,6 +628,46 @@ def exp_sealg() -> Report:
         format_table(rows),
         metrics={"all_correct": all(r["correct"] for r in rows),
                  "se_round_count": se_tr.round_count},
+    )
+
+
+def exp_sweep() -> Report:
+    """SWEEP: a reliability-sweep slice on the sharded scenario driver —
+    sizes x fault sets x seeds reduced through the exact shard merger."""
+    from repro.simulator.shard_driver import ScenarioGrid, run_grid
+
+    grid = ScenarioGrid(
+        mhk=[(2, 5, 2), (2, 6, 2)],  # k = 2 spares cover the 2-fault cells
+        patterns=["uniform"],
+        loads=[300],
+        fault_sets=[(), ((0, 3),), ((0, 3), (5, 11))],
+        seeds=[0, 1],
+    )
+    # inline (workers=0) keeps the report deterministic and test-fast; the
+    # merged aggregate is bit-identical at any worker count
+    res = run_grid(grid, workers=0)
+    rows = [
+        {k: r[k] for k in ("scenario", "cycles", "delivered", "dropped",
+                           "mean_latency", "p95_latency")}
+        for r in res.rows()
+    ]
+    agg = res.aggregate_stats
+    body = (
+        format_table(rows)
+        + f"\n\naggregate: {agg}"
+    )
+    conserved = agg.delivered + agg.dropped == agg.injected
+    return Report(
+        "SWEEP",
+        "Scenario sweep on the sharded driver: sizes x fault sets x seeds, "
+        "exact shard-merged aggregate",
+        body,
+        metrics={
+            "scenarios": len(grid),
+            "delivered": agg.delivered,
+            "dropped": agg.dropped,
+            "conservation_holds": conserved,
+        },
     )
 
 
@@ -669,6 +709,7 @@ _REGISTRY: dict[str, Callable[[], Report]] = {
     "DIL": exp_dil,
     "SEALG": exp_sealg,
     "REL": exp_rel,
+    "SWEEP": exp_sweep,
 }
 
 

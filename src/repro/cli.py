@@ -9,6 +9,9 @@ Commands
 ``demo``          thirty-second tour: construct, fail, reconfigure, verify
 ``bench-engines`` race the object vs. batch simulation engines on one
                   workload and check they agree packet-for-packet
+``sweep``         run a scenario grid (sizes x patterns x fault sets x
+                  seeds) across a multi-process worker pool and reduce
+                  the shards into one exact aggregate
 """
 
 from __future__ import annotations
@@ -181,6 +184,98 @@ def _cmd_bench_engines(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _parse_mhk(spec: str) -> tuple[int, int, int]:
+    try:
+        m, h, k = (int(x) for x in spec.split(","))
+        return m, h, k
+    except ValueError:
+        raise ReproError(f"--mhk expects M,H,K (e.g. 2,8,1), got {spec!r}") from None
+
+
+def _parse_fault_set(spec: str) -> tuple[tuple[int, int], ...]:
+    spec = spec.strip()
+    if not spec or spec == "none":
+        return ()
+    out = []
+    for part in spec.split(","):
+        try:
+            cycle_s, node_s = part.split(":")
+            out.append((int(cycle_s), int(node_s)))
+        except ValueError:
+            raise ReproError(
+                f"--fault-set expects CYCLE:NODE[,CYCLE:NODE...], got {spec!r}"
+            ) from None
+    return tuple(out)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.analysis.reporting import format_table
+    from repro.simulator.shard_driver import ScenarioGrid, run_grid
+
+    grid = ScenarioGrid(
+        mhk=[_parse_mhk(s) for s in (args.mhk or ["2,8,1"])],
+        patterns=args.pattern or ["uniform"],
+        loads=args.packets or [1000],
+        fault_sets=[_parse_fault_set(s) for s in (args.fault_set or [""])],
+        seeds=list(range(args.seeds)),
+        link_capacity=args.capacity,
+        batches=args.batches,
+        cycles_per_batch=args.cycles_per_batch,
+        controller=args.controller,
+        shards=args.shards,
+    )
+    print(f"scenario grid: {len(grid)} scenarios "
+          f"({len(grid.mhk)} sizes x {len(grid.patterns)} patterns x "
+          f"{len(grid.loads)} loads x {len(grid.fault_sets)} fault sets x "
+          f"{len(grid.seeds)} seeds)")
+    result = run_grid(grid, workers=args.workers, chunk_size=args.chunk_size)
+    rows = result.rows()
+    display = [
+        {k: r[k] for k in ("scenario", "cycles", "delivered", "dropped",
+                           "mean_latency", "p95_latency", "seconds")}
+        for r in rows
+    ]
+    print(format_table(display))
+    agg = result.aggregate_stats
+    print(f"\naggregate over {len(rows)} scenarios: {agg}")
+    print(f"wall clock: {result.seconds:.3f} s on {result.workers} worker(s)")
+
+    check_failed = False
+    if args.check_single:
+        t0 = time.perf_counter()
+        single = run_grid(grid, workers=0)
+        t_single = time.perf_counter() - t0
+        identical = single.aggregate_stats == agg
+        check_failed = not identical
+        print(f"single-process reference: {t_single:.3f} s, "
+              f"speedup {t_single / result.seconds:.2f}x, "
+              f"identical aggregate: {identical}")
+    if args.json:
+        payload = {
+            "grid": grid.to_dict(),
+            "workers": result.workers,
+            "seconds": round(result.seconds, 4),
+            "scenarios": rows,
+            "aggregate": {
+                "cycles": agg.cycles, "injected": agg.injected,
+                "delivered": agg.delivered, "dropped": agg.dropped,
+                "mean_latency": agg.mean_latency,
+                "p95_latency": agg.p95_latency,
+                "max_latency": agg.max_latency,
+                "mean_hops": agg.mean_hops,
+                "throughput": agg.throughput,
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 1 if check_failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -241,6 +336,48 @@ def build_parser() -> argparse.ArgumentParser:
                     help="schedule a node fault (repeatable)")
     be.add_argument("--seed", type=int, default=0)
     be.set_defaults(func=_cmd_bench_engines)
+
+    sw = sub.add_parser(
+        "sweep",
+        help="run a scenario grid across a multi-process worker pool",
+        description="Declarative scenario sweep: the cartesian product of "
+                    "--mhk x --pattern x --packets x --fault-set x seeds "
+                    "runs across a chunked work-stealing process pool; "
+                    "per-scenario results and the exact merged aggregate "
+                    "are printed (and optionally written as JSON).  "
+                    "Worker-count guidance: one worker per physical core "
+                    "(the default) — workers are processes, so "
+                    "oversubscribing cores buys nothing.",
+    )
+    sw.add_argument("--mhk", action="append", default=None, metavar="M,H,K",
+                    help="graph size, repeatable (default 2,8,1)")
+    sw.add_argument("--pattern", action="append", choices=PATTERN_NAMES,
+                    default=None, help="traffic pattern, repeatable")
+    sw.add_argument("--packets", action="append", type=int, default=None,
+                    help="packets per scenario, repeatable")
+    sw.add_argument("--fault-set", action="append", default=None,
+                    metavar="CYCLE:NODE[,...]",
+                    help="fault schedule, repeatable ('' = fault-free)")
+    sw.add_argument("--seeds", type=int, default=1,
+                    help="seed replicas per cell (seeds 0..N-1)")
+    sw.add_argument("--capacity", type=int, default=1)
+    sw.add_argument("--batches", type=int, default=1)
+    sw.add_argument("--cycles-per-batch", type=int, default=0)
+    sw.add_argument("--controller", choices=["reconfig", "detour"],
+                    default="reconfig")
+    sw.add_argument("--shards", type=int, default=1,
+                    help="split each scenario's batches over this many tasks")
+    sw.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: one per CPU core; "
+                    "0 = run inline)")
+    sw.add_argument("--chunk-size", type=int, default=None,
+                    help="tasks per work-stealing chunk (default: auto)")
+    sw.add_argument("--check-single", action="store_true",
+                    help="also run single-process and verify the merged "
+                    "aggregate is bit-identical")
+    sw.add_argument("--json", default=None, metavar="PATH",
+                    help="write per-scenario rows + aggregate as JSON")
+    sw.set_defaults(func=_cmd_sweep)
     return p
 
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.labels import validate_base, validate_h
-from repro.errors import ParameterError
 
 __all__ = [
     "de_bruijn_sequence",

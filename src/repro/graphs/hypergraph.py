@@ -81,7 +81,8 @@ class BusHypergraph:
         order = np.argsort(self._bus_members, kind="stable")
         sorted_nodes = self._bus_members[order]
         sorted_buses = bus_of_entry[order]
-        counts = np.bincount(sorted_nodes, minlength=n) if sorted_nodes.size else np.zeros(n, dtype=np.int64)
+        counts = (np.bincount(sorted_nodes, minlength=n) if sorted_nodes.size
+                  else np.zeros(n, dtype=np.int64))
         self._node_ptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
         self._node_buses = sorted_buses
 

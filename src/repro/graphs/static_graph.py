@@ -211,7 +211,9 @@ class StaticGraph:
 
     # -- derived graphs ----------------------------------------------------
 
-    def induced_subgraph(self, nodes: Sequence[int] | np.ndarray) -> tuple["StaticGraph", np.ndarray]:
+    def induced_subgraph(
+        self, nodes: Sequence[int] | np.ndarray
+    ) -> tuple["StaticGraph", np.ndarray]:
         """Subgraph induced by ``nodes``.
 
         Returns ``(H, kept)`` where ``kept`` is the sorted array of original
@@ -298,7 +300,9 @@ class StaticGraph:
         return f"StaticGraph(n={self._n}, m={self._edge_count}, max_deg={self.max_degree()})"
 
     @classmethod
-    def from_adjacency(cls, adj: Mapping[int, Iterable[int]], num_nodes: int | None = None) -> "StaticGraph":
+    def from_adjacency(
+        cls, adj: Mapping[int, Iterable[int]], num_nodes: int | None = None
+    ) -> "StaticGraph":
         """Build from an adjacency mapping ``{u: [v, ...]}``."""
         edges = [(u, v) for u, vs in adj.items() for v in vs]
         if num_nodes is None:

@@ -15,8 +15,10 @@ from repro.routing.shortest_path import (
     shortest_path,
 )
 from repro.routing.tables import (
+    RouteTable,
     compile_routing_table,
     table_path,
+    table_routes_batch,
     validate_routing_table,
 )
 from repro.routing.fault_routing import (
@@ -37,8 +39,10 @@ __all__ = [
     "extract_path",
     "shortest_path",
     "eccentricity",
+    "RouteTable",
     "compile_routing_table",
     "table_path",
+    "table_routes_batch",
     "validate_routing_table",
     "ReconfiguredRouter",
     "detour_route",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.labels import from_digits, to_digits, validate_base, validate_h
+from repro.core.labels import to_digits, validate_base, validate_h
 from repro.errors import ParameterError
 
 __all__ = [

@@ -5,9 +5,17 @@ neighbor ``v`` forwards to for destination ``d`` (``table[d, d] = d``;
 ``-1`` marks unreachable pairs).  Tables are compiled from per-destination
 BFS trees, so the distributed forwarding they encode is hop-optimal; the
 simulator executes them directly.
+
+:class:`RouteTable` wraps the array as a *pickle-safe* batch artifact:
+compile once in the parent process, ship it to shard workers (it is pure
+NumPy data, so it pickles compactly by value), and extract whole route
+batches vectorized with :meth:`RouteTable.routes_batch` — the format the
+simulation engines inject directly.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -15,7 +23,13 @@ from repro.errors import RoutingError
 from repro.graphs.static_graph import StaticGraph
 from repro.routing.shortest_path import bfs_parents
 
-__all__ = ["compile_routing_table", "validate_routing_table", "table_path"]
+__all__ = [
+    "RouteTable",
+    "compile_routing_table",
+    "table_routes_batch",
+    "validate_routing_table",
+    "table_path",
+]
 
 
 def compile_routing_table(g: StaticGraph) -> np.ndarray:
@@ -32,6 +46,105 @@ def compile_routing_table(g: StaticGraph) -> np.ndarray:
         table[reachable, d] = parent[reachable]
         table[d, d] = d
     return table
+
+
+def table_routes_batch(
+    table: np.ndarray, srcs: np.ndarray, dsts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Follow a next-hop table for a whole batch of pairs at once.
+
+    Returns ``(flat, offsets)`` in the engines' shared injection layout
+    (packet ``i``'s route is ``flat[offsets[i]:offsets[i + 1]]``).  The
+    follow is vectorized over the batch: one gather per hop level, so the
+    work is O(batch x diameter) NumPy ops instead of a Python loop per
+    pair.  Raises :class:`RoutingError` on the first unreachable pair.
+    """
+    srcs = np.asarray(srcs, dtype=np.int64).ravel()
+    dsts = np.asarray(dsts, dtype=np.int64).ravel()
+    if srcs.shape != dsts.shape:
+        raise RoutingError("srcs and dsts must have equal shape")
+    n = table.shape[0]
+    count = srcs.size
+    if count == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+    if srcs.min() < 0 or dsts.min() < 0 or srcs.max() >= n or dsts.max() >= n:
+        raise RoutingError("endpoint out of range for the routing table")
+    levels = [srcs.copy()]
+    cur = srcs.copy()
+    active = cur != dsts
+    for _ in range(n):
+        if not active.any():
+            break
+        nxt = cur.copy()
+        step = table[cur[active], dsts[active]]
+        if (step < 0).any():
+            i = int(np.flatnonzero(active)[np.flatnonzero(step < 0)[0]])
+            raise RoutingError(f"no route from {srcs[i]} to {dsts[i]}")
+        nxt[active] = step
+        levels.append(nxt)
+        cur = nxt
+        active = active & (cur != dsts)
+    else:  # pragma: no cover - validate_routing_table guards against loops
+        i = int(np.flatnonzero(active)[0])
+        raise RoutingError(f"routing loop from {srcs[i]} toward {dsts[i]}")
+    # per-packet route length = 1 + first level where the walk hit dst
+    stack = np.stack(levels)                       # (depth + 1, count)
+    hit = stack == dsts[np.newaxis, :]
+    lens = np.argmax(hit, axis=0) + 1              # first hit level, 1-based
+    offsets = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(lens, out=offsets[1:])
+    keep = np.arange(stack.shape[0])[:, np.newaxis] < lens[np.newaxis, :]
+    flat = stack.T[keep.T]                         # row-major: packet-contiguous
+    return flat.astype(np.int64, copy=False), offsets
+
+
+@dataclass(frozen=True, eq=False)
+class RouteTable:
+    """A compiled next-hop table as a pickle-safe batch-routing artifact.
+
+    Holds nothing but the dense ``(n, n)`` int64 array, so it crosses
+    process boundaries by value (no graph object, no closures) — compile
+    once per fault epoch in the driver process, hand it to every shard
+    worker.  ``table_path``/``table_routes_batch`` semantics apply.
+
+    >>> from repro.graphs.static_graph import StaticGraph
+    >>> rt = RouteTable.compile(StaticGraph(3, [(0, 1), (1, 2)]))
+    >>> rt.route(0, 2)
+    [0, 1, 2]
+    """
+
+    table: np.ndarray
+
+    def __post_init__(self):
+        t = np.asarray(self.table, dtype=np.int64)
+        if t.ndim != 2 or t.shape[0] != t.shape[1]:
+            raise RoutingError(f"route table must be square, got {t.shape}")
+        object.__setattr__(self, "table", t)
+
+    def __eq__(self, other: object) -> bool:
+        # the generated dataclass __eq__ would raise on ndarray fields
+        if not isinstance(other, RouteTable):
+            return NotImplemented
+        return np.array_equal(self.table, other.table)
+
+    @classmethod
+    def compile(cls, g: StaticGraph) -> "RouteTable":
+        """Compile from per-destination BFS trees (hop-optimal)."""
+        return cls(compile_routing_table(g))
+
+    @property
+    def node_count(self) -> int:
+        return int(self.table.shape[0])
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Single-pair route (convenience wrapper over the batch path)."""
+        return table_path(self.table, src, dst)
+
+    def routes_batch(
+        self, srcs: np.ndarray, dsts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized batch extraction — see :func:`table_routes_batch`."""
+        return table_routes_batch(self.table, srcs, dsts)
 
 
 def table_path(table: np.ndarray, source: int, dest: int) -> list[int]:

@@ -1,6 +1,6 @@
 """Cycle-accurate interconnect simulator: links, buses, traffic, faults.
 
-Two interchangeable engines implement the store-and-forward model:
+Three interchangeable engines implement the store-and-forward model:
 
 * :class:`NetworkSimulator` — the object engine: one Python
   :class:`Packet` per message, one deque per link.  The semantic
@@ -10,9 +10,16 @@ Two interchangeable engines implement the store-and-forward model:
   calendar queue so each packet is touched only when it moves.  1–2
   orders of magnitude faster on heavy traffic, golden-tested to match
   the object engine packet-for-packet.
+* :class:`ShardedEngine` — multi-process on top of the batch engine:
+  injection batches drain as parallel waves of ``BatchEngine`` shards,
+  merged by the exact :class:`ShardStats` reducer (fault timing
+  coarsens to batch boundaries; see :mod:`repro.simulator.shard_driver`).
 
 The fault controllers (:class:`ReconfigurationController`,
-:class:`DetourController`) accept ``engine="object" | "batch"``.
+:class:`DetourController`) accept ``engine="object" | "batch" |
+"sharded"``.  Scenario *sweeps* — grids over sizes, patterns, fault
+sets and seeds — run multi-process through :func:`run_grid` /
+:class:`ScenarioGrid` (also the CLI ``sweep`` subcommand).
 """
 
 from repro.simulator.events import Event, EventQueue
@@ -36,6 +43,16 @@ from repro.simulator.faults import (
     DetourController,
     FaultScenario,
     ReconfigurationController,
+)
+from repro.simulator.shard_driver import (
+    GridResult,
+    Scenario,
+    ScenarioGrid,
+    ScenarioResult,
+    ShardDriver,
+    ShardedEngine,
+    ShardStats,
+    run_grid,
 )
 
 __all__ = [
@@ -62,4 +79,12 @@ __all__ = [
     "DetourController",
     "FaultScenario",
     "ReconfigurationController",
+    "GridResult",
+    "Scenario",
+    "ScenarioGrid",
+    "ScenarioResult",
+    "ShardDriver",
+    "ShardedEngine",
+    "ShardStats",
+    "run_grid",
 ]

@@ -70,9 +70,69 @@ from repro.graphs.static_graph import StaticGraph
 from repro.routing.shift_register import route_hop_pairs
 from repro.simulator.metrics import PacketArrays, RunStats, summarize_arrays
 
-__all__ = ["BatchEngine", "pack_routes"]
+__all__ = ["BatchEngine", "pack_routes", "validate_injection"]
 
 _I64 = np.int64
+
+
+def _dead_links_mask(
+    dead_keys: np.ndarray, n: int, us: np.ndarray, vs: np.ndarray
+) -> np.ndarray:
+    """Boolean mask: is directed link ``(us[i], vs[i])`` in the sorted
+    dead-link key array (keys are ``u * n + v``)?"""
+    if dead_keys.size == 0:
+        return np.zeros(us.shape, dtype=bool)
+    q = us * n + vs
+    pos = np.searchsorted(dead_keys, q)
+    safe = np.minimum(pos, dead_keys.size - 1)
+    return (pos < dead_keys.size) & (dead_keys[safe] == q)
+
+
+def validate_injection(
+    graph: StaticGraph,
+    flat: np.ndarray,
+    offsets: np.ndarray,
+    *,
+    validate: bool,
+    dead_mask: np.ndarray,
+    dead_link_keys: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The engines' shared injection-time validation, fully vectorized.
+
+    Normalizes the ``(flat, offsets)`` batch and applies exactly the
+    checks :meth:`BatchEngine.inject_routes` documents: malformed batch,
+    empty routes, node range, edge existence (gated by ``validate``),
+    dead links, dead nodes — raising :class:`SimulationError` on the
+    first offender.  Returns ``(flat, offsets, a, b, lens)`` where
+    ``(a, b)`` are the per-hop endpoint arrays.  Every engine funnels
+    through here so a route is rejected identically no matter which
+    engine it was offered to.
+    """
+    flat = np.ascontiguousarray(np.asarray(flat, dtype=_I64).ravel())
+    offsets = np.asarray(offsets, dtype=_I64).ravel()
+    if offsets.size < 1 or offsets[0] != 0 or offsets[-1] != flat.size:
+        raise SimulationError("malformed (flat, offsets) route batch")
+    lens = np.diff(offsets)
+    if lens.size and (lens < 1).any():
+        raise SimulationError("route must contain at least the source")
+    n = graph.node_count
+    if flat.size and (flat.min() < 0 or flat.max() >= n):
+        raise SimulationError("route node id out of range")
+    a, b = route_hop_pairs(flat, offsets)
+    if validate and a.size:
+        ok = graph.has_edges(a, b)
+        if not ok.all():
+            i = int(np.flatnonzero(~ok)[0])
+            raise SimulationError(f"route hop ({a[i]}, {b[i]}) is not an edge")
+    if a.size:
+        dead_link = _dead_links_mask(dead_link_keys, n, a, b)
+        if dead_link.any():
+            i = int(np.flatnonzero(dead_link)[0])
+            raise SimulationError(f"route uses dead link ({a[i]}, {b[i]})")
+    if flat.size and dead_mask[flat].any():
+        v = int(flat[np.flatnonzero(dead_mask[flat])[0]])
+        raise SimulationError(f"route passes dead node {v}")
+    return flat, offsets, a, b, lens
 
 
 def pack_routes(routes: Iterable[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
@@ -206,13 +266,7 @@ class BatchEngine:
 
     def _links_dead(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
         """Boolean mask: is directed link ``(us[i], vs[i])`` dead?"""
-        dk = self._dead_link_keys
-        if dk.size == 0:
-            return np.zeros(us.shape, dtype=bool)
-        q = us * self._n + vs
-        pos = np.searchsorted(dk, q)
-        safe = np.minimum(pos, dk.size - 1)
-        return (pos < dk.size) & (dk[safe] == q)
+        return _dead_links_mask(self._dead_link_keys, self._n, us, vs)
 
     # -- injection ----------------------------------------------------------
 
@@ -241,31 +295,12 @@ class BatchEngine:
         all-or-nothing: on error, no packet of the batch is injected
         (``NetworkSimulator.inject_routes`` matches).
         """
-        flat = np.ascontiguousarray(np.asarray(flat, dtype=_I64).ravel())
-        offsets = np.asarray(offsets, dtype=_I64).ravel()
-        if offsets.size < 1 or offsets[0] != 0 or offsets[-1] != flat.size:
-            raise SimulationError("malformed (flat, offsets) route batch")
-        lens = np.diff(offsets)
+        flat, offsets, a, b, lens = validate_injection(
+            self.graph, flat, offsets, validate=validate,
+            dead_mask=self._dead, dead_link_keys=self._dead_link_keys,
+        )
         if lens.size == 0:
             return np.zeros(0, dtype=_I64)
-        if (lens < 1).any():
-            raise SimulationError("route must contain at least the source")
-        if flat.size and (flat.min() < 0 or flat.max() >= self._n):
-            raise SimulationError("route node id out of range")
-        a, b = route_hop_pairs(flat, offsets)
-        if validate and a.size:
-            ok = self.graph.has_edges(a, b)
-            if not ok.all():
-                i = int(np.flatnonzero(~ok)[0])
-                raise SimulationError(f"route hop ({a[i]}, {b[i]}) is not an edge")
-        if a.size:
-            dead_link = self._links_dead(a, b)
-            if dead_link.any():
-                i = int(np.flatnonzero(dead_link)[0])
-                raise SimulationError(f"route uses dead link ({a[i]}, {b[i]})")
-        if flat.size and self._dead[flat].any():
-            v = int(flat[np.flatnonzero(self._dead[flat])[0]])
-            raise SimulationError(f"route passes dead node {v}")
 
         count = lens.size
         pid0 = self._n_packets

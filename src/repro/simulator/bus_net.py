@@ -179,7 +179,8 @@ class BusNetworkSimulator:
                 delivered += 1
             else:
                 nxt_owner = pkt.route[hop]
-                if nxt_owner in self._dead_nodes or self._bus_of_owner.get(nxt_owner) in self._dead_buses:
+                if (nxt_owner in self._dead_nodes
+                        or self._bus_of_owner.get(nxt_owner) in self._dead_buses):
                     pkt.dropped = True
                     continue
                 self._enqueue(pkt, hop)

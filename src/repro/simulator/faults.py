@@ -16,10 +16,14 @@ regime; contrast with firing faults only at batch boundaries, which
 silently postpones them).  ``fault_log`` records the ``(cycle, node)``
 pairs as they actually fired, so tests can pin the timeline.
 
-Both controllers drive either simulation engine: ``engine="object"``
-(:class:`NetworkSimulator`, one Python object per packet) or
+Both controllers drive any of the simulation engines: ``engine="object"``
+(:class:`NetworkSimulator`, one Python object per packet),
 ``engine="batch"`` (:class:`BatchEngine`, vectorized structure-of-arrays
-— use it for heavy traffic).  The two are golden-tested semantic twins.
+— use it for heavy traffic) or ``engine="sharded"``
+(:class:`repro.simulator.shard_driver.ShardedEngine`, multi-process on
+top of the batch engine; fault timing coarsens to batch boundaries).
+The object and batch engines are golden-tested semantic twins; the
+sharded engine is bit-identical whenever no fault fires mid-drain.
 """
 
 from __future__ import annotations
@@ -41,14 +45,19 @@ from repro.simulator.network import NetworkSimulator
 
 __all__ = ["FaultScenario", "ReconfigurationController", "DetourController"]
 
-_ENGINES = ("object", "batch")
+_ENGINES = ("object", "batch", "sharded")
 
 
-def _make_engine(engine: str, graph, link_capacity: int):
+def _make_engine(engine: str, graph, link_capacity: int, workers=None):
     if engine == "object":
         return NetworkSimulator(graph, link_capacity)
     if engine == "batch":
         return BatchEngine(graph, link_capacity)
+    if engine == "sharded":
+        # local import: shard_driver imports the controllers for its workers
+        from repro.simulator.shard_driver import ShardedEngine
+
+        return ShardedEngine(graph, link_capacity, workers=workers)
     raise SimulationError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
 
 
@@ -81,20 +90,25 @@ class ReconfigurationController:
     m, h, k:
         Construction parameters of the underlying ``B^k_{m,h}``.
     engine:
-        ``"object"`` (reference engine) or ``"batch"`` (vectorized; use
-        for heavy traffic).
+        ``"object"`` (reference engine), ``"batch"`` (vectorized; use for
+        heavy traffic) or ``"sharded"`` (multi-process on top of the
+        batch engine; faults fire at batch boundaries — see
+        :class:`repro.simulator.shard_driver.ShardedEngine`).
     link_capacity:
         Packets one directed link may move per cycle.
+    workers:
+        Worker-process count for ``engine="sharded"`` (``None`` = one per
+        CPU core); ignored by the in-process engines.
     """
 
     def __init__(self, m: int, h: int, k: int, *, engine: str = "object",
-                 link_capacity: int = 1):
+                 link_capacity: int = 1, workers: int | None = None):
         self.m, self.h, self.k = int(m), int(h), int(k)
         self.target = debruijn(m, h)
         self.ft = ft_debruijn(m, h, k)
         self.rec = Reconfigurator(self.ft.node_count, self.target.node_count)
         self.engine = engine
-        self.sim = _make_engine(engine, self.ft, link_capacity)
+        self.sim = _make_engine(engine, self.ft, link_capacity, workers)
         self.events = EventQueue()
         self.lost_to_faults = 0
         self.fault_log: list[tuple[int, int]] = []
@@ -149,7 +163,19 @@ class ReconfigurationController:
         packets queued in the failed router (counted in
         ``lost_to_faults``).  Events scheduled beyond the last simulated
         cycle never fire.
+
+        With ``engine="sharded"`` the batches are drained across the
+        worker pool instead: consecutive batches with no pending event are
+        injected together and drained as one parallel wave (bit-identical
+        statistics to ``engine="batch"``), while pending events force
+        batch-at-a-time draining with faults applied at batch boundaries
+        (mid-drain timing is deferred to the end of the draining batch —
+        see :class:`repro.simulator.shard_driver.ShardedEngine`).
         """
+        if self.engine == "sharded":
+            return self._run_workload_sharded(
+                batches, cycles_per_batch=cycles_per_batch, max_cycles=max_cycles
+            )
         for i, batch in enumerate(batches):
             if i and cycles_per_batch:
                 for _ in range(cycles_per_batch):
@@ -166,6 +192,30 @@ class ReconfigurationController:
         self.events.run_handlers(self.sim.cycle, self._handlers)
         return self.sim.stats()
 
+    def _run_workload_sharded(self, batches: list[np.ndarray], *,
+                              cycles_per_batch: int,
+                              max_cycles: int) -> RunStats:
+        """Sharded twin of :meth:`run_workload`: greedily inject every
+        batch that no pending event could precede, then drain the wave in
+        parallel.  Any pending event (even one due far past the end of the
+        run — drain durations are unknown up front) conservatively forces
+        batch-at-a-time draining so its boundary position is preserved."""
+        i, n = 0, len(batches)
+        while i < n:
+            if i and cycles_per_batch:
+                self.sim.cycle += cycles_per_batch  # idle gap, spent at once
+            self.events.run_handlers(self.sim.cycle, self._handlers)
+            self._inject(batches[i])
+            i += 1
+            while i < n and not len(self.events):
+                if cycles_per_batch:
+                    self.sim.cycle += cycles_per_batch
+                self._inject(batches[i])
+                i += 1
+            self.sim.drain(max_cycles=max_cycles)
+        self.events.run_handlers(self.sim.cycle, self._handlers)
+        return self.sim.stats()
+
 
 class DetourController:
     """The spare-less baseline: the bare target graph with BFS detours.
@@ -178,11 +228,11 @@ class DetourController:
     """
 
     def __init__(self, m: int, h: int, *, engine: str = "object",
-                 link_capacity: int = 1):
+                 link_capacity: int = 1, workers: int | None = None):
         self.m, self.h = int(m), int(h)
         self.target = debruijn(m, h)
         self.engine = engine
-        self.sim = _make_engine(engine, self.target, link_capacity)
+        self.sim = _make_engine(engine, self.target, link_capacity, workers)
         self.faults: set[int] = set()
         self.unreachable_pairs = 0
 
@@ -190,7 +240,14 @@ class DetourController:
         self.faults.add(int(node))
         self.sim.disable_node(int(node))
 
-    def run_workload(self, batches: list[np.ndarray]) -> RunStats:
+    def run_workload(self, batches: list[np.ndarray], *,
+                     max_cycles: int = 1_000_000) -> RunStats:
+        """Route (per pair, BFS in the survivor graph) and drain each
+        batch.  ``engine="sharded"`` defers the drains and runs them as
+        one parallel wave — the fault set is fixed inside a workload, so
+        the batches are independent and the merged statistics are
+        bit-identical to the sequential engines."""
+        sharded = self.engine == "sharded"
         for batch in batches:
             faults = sorted(self.faults)
             routes: list[list[int]] = []
@@ -202,5 +259,8 @@ class DetourController:
                     self.unreachable_pairs += 1
             flat, offsets = pack_routes(routes)
             self.sim.inject_routes(flat, offsets, validate=False)
-            self.sim.run()
+            if not sharded:
+                self.sim.run(max_cycles)
+        if sharded:
+            self.sim.run(max_cycles)
         return self.sim.stats()

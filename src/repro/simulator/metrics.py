@@ -41,6 +41,20 @@ class PacketArrays:
             if getattr(self, name).shape != (n,):
                 raise ValueError(f"PacketArrays field {name!r} has mismatched shape")
 
+    @classmethod
+    def from_packets(cls, packets: "list[Packet]") -> "PacketArrays":
+        """Convert the object engine's per-packet records (the single
+        place the ``-1`` not-delivered sentinel convention lives)."""
+        return cls(
+            injected_at=np.array([p.injected_at for p in packets], dtype=np.int64),
+            delivered_at=np.array(
+                [-1 if p.delivered_at is None else p.delivered_at for p in packets],
+                dtype=np.int64,
+            ),
+            hops=np.array([p.hops for p in packets], dtype=np.int64),
+            dropped=np.array([p.dropped for p in packets], dtype=bool),
+        )
+
 
 @dataclass(frozen=True)
 class RunStats:
@@ -108,13 +122,4 @@ def summarize(packets: "list[Packet] | PacketArrays", cycles: int) -> RunStats:
     """
     if isinstance(packets, PacketArrays):
         return summarize_arrays(packets, cycles)
-    records = PacketArrays(
-        injected_at=np.array([p.injected_at for p in packets], dtype=np.int64),
-        delivered_at=np.array(
-            [-1 if p.delivered_at is None else p.delivered_at for p in packets],
-            dtype=np.int64,
-        ),
-        hops=np.array([p.hops for p in packets], dtype=np.int64),
-        dropped=np.array([p.dropped for p in packets], dtype=bool),
-    )
-    return summarize_arrays(records, cycles)
+    return summarize_arrays(PacketArrays.from_packets(packets), cycles)

@@ -1,0 +1,1014 @@
+"""Sharded multi-process simulation driver on top of :class:`BatchEngine`.
+
+The reliability claims of the paper only become measurable at scale —
+millions of packets across many fault scenarios — and a single process
+is the wall right after vectorization.  This module partitions
+*independent* workloads across a pool of worker processes:
+
+* **per scenario** — every cell of a :class:`ScenarioGrid` (a declarative
+  sweep over ``(m, h, k)``, fault sets, traffic patterns, loads and seed
+  replicas) is an independent simulation;
+* **per seed** — replicas are just another grid axis;
+* **per batch** — one scenario's injection batches are independent too,
+  because the engines fully drain between batches: batch ``i + 1`` starts
+  on an empty network, so simulating each batch in a fresh engine and
+  merging the records is *bit-identical* to draining them sequentially in
+  one engine (see :class:`ShardStats` for why the merge is exact).
+
+Results come back as :class:`ShardStats` — a mergeable, pickle-friendly
+twin of :class:`RunStats` that carries exact counts plus latency/hop
+histograms, so N shards reduce to the same ``RunStats`` a single-process
+run would have produced (bit-identical floats included; the property
+tests in ``tests/test_shard_driver.py`` enforce this).
+
+Dispatch is *chunked work stealing*: tasks sit on one shared queue and
+idle workers pull the next chunk, so a skewed scenario (a hotspot drain
+that runs 10x longer than its neighbors) never staggers the pool the way
+a static pre-partition would.  ``chunk_size=1`` (the default for small
+grids) is pure dynamic balancing; larger chunks amortize IPC when
+scenarios are tiny and plentiful.
+
+Entry points
+------------
+:func:`run_grid`           sweep a :class:`ScenarioGrid` across workers
+:class:`ShardDriver`       the generic chunked work-stealing pool
+:class:`ShardedEngine`     ``engine="sharded"`` for the fault controllers
+:class:`ShardStats`        the mergeable statistics record
+
+Picking a worker count
+----------------------
+``workers=None`` uses ``os.cpu_count()`` capped by the task count.
+Workers are full processes (the GIL never shares NumPy-heavy drains), so
+more workers than physical cores buys nothing; fewer leaves hardware
+idle.  ``workers<=1`` runs inline in-process — same code path, no pool —
+which is also the reference the equivalence tests compare against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+import traceback
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError, SimulationError
+from repro.graphs.static_graph import StaticGraph
+from repro.simulator.batch_engine import BatchEngine, validate_injection
+from repro.simulator.metrics import PacketArrays, RunStats
+from repro.simulator.traffic import PATTERN_NAMES
+
+__all__ = [
+    "ShardStats",
+    "Scenario",
+    "ScenarioGrid",
+    "ScenarioResult",
+    "GridResult",
+    "ShardDriver",
+    "ShardedEngine",
+    "run_grid",
+]
+
+_I64 = np.int64
+
+_CONTROLLERS = ("reconfig", "detour")
+
+
+# ---------------------------------------------------------------------------
+# mergeable statistics
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, eq=False)
+class ShardStats:
+    """Mergeable simulation statistics: the associative half of
+    :class:`RunStats`.
+
+    ``RunStats`` itself cannot be merged (means and percentiles are not
+    associative), so shards return *exact sufficient statistics* instead:
+    plain counters plus latency and hop histograms over the delivered
+    packets.  Merging is exact, and :meth:`to_run_stats` reproduces the
+    single-process ``RunStats`` bit-for-bit:
+
+    * integer counters add;
+    * histograms add (``np.unique`` values with int64 counts);
+    * ``mean`` — ``np.mean`` over int64 latencies performs pairwise
+      float64 summation whose partial sums are all integers; every one is
+      exact below 2**53, so ``float(sum) / n`` lands on the identical
+      float regardless of packet order;
+    * ``p95`` — the histogram *is* the sorted multiset, so expanding it
+      with ``np.repeat`` and calling ``np.percentile`` replays the exact
+      computation;
+    * ``max`` — the last histogram bin.
+
+    All fields are plain ints and small int64 arrays, so the record
+    pickles compactly across process boundaries.
+    """
+
+    cycles: int
+    injected: int
+    delivered: int
+    dropped: int
+    lat_values: np.ndarray    # unique latencies of delivered packets, sorted
+    lat_counts: np.ndarray    # multiplicity per latency value
+    hop_values: np.ndarray    # unique hop counts of delivered packets, sorted
+    hop_counts: np.ndarray
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardStats):
+            return NotImplemented
+        return (
+            (self.cycles, self.injected, self.delivered, self.dropped)
+            == (other.cycles, other.injected, other.delivered, other.dropped)
+            and np.array_equal(self.lat_values, other.lat_values)
+            and np.array_equal(self.lat_counts, other.lat_counts)
+            and np.array_equal(self.hop_values, other.hop_values)
+            and np.array_equal(self.hop_counts, other.hop_counts)
+        )
+
+    @classmethod
+    def from_arrays(cls, records: PacketArrays, cycles: int) -> "ShardStats":
+        """Reduce one shard's :class:`PacketArrays` to mergeable form."""
+        ok = records.delivered_at >= 0
+        lat = (records.delivered_at[ok] - records.injected_at[ok]).astype(_I64)
+        hops = records.hops[ok].astype(_I64)
+        lat_values, lat_counts = np.unique(lat, return_counts=True)
+        hop_values, hop_counts = np.unique(hops, return_counts=True)
+        return cls(
+            cycles=int(cycles),
+            injected=int(records.injected_at.shape[0]),
+            delivered=int(lat.size),
+            dropped=int(np.count_nonzero(records.dropped)),
+            lat_values=lat_values,
+            lat_counts=lat_counts.astype(_I64),
+            hop_values=hop_values,
+            hop_counts=hop_counts.astype(_I64),
+        )
+
+    @classmethod
+    def empty(cls) -> "ShardStats":
+        z = np.zeros(0, dtype=_I64)
+        return cls(0, 0, 0, 0, z, z, z, z)
+
+    @staticmethod
+    def _merge_hist(
+        values: Sequence[np.ndarray], counts: Sequence[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        v = np.concatenate(values)
+        c = np.concatenate(counts)
+        uv, inv = np.unique(v, return_inverse=True)
+        uc = np.zeros(uv.size, dtype=_I64)
+        np.add.at(uc, inv, c)
+        return uv, uc
+
+    @classmethod
+    def merge(cls, shards: Iterable["ShardStats"]) -> "ShardStats":
+        """Exact vectorized reduction of any number of shards.
+
+        Cycle counts *add*: shard ``i + 1`` logically starts on the cycle
+        shard ``i`` drained (the sequential-drain timeline), which is what
+        a single engine draining the concatenated workload reports.
+        """
+        shards = list(shards)
+        if not shards:
+            return cls.empty()
+        lat_values, lat_counts = cls._merge_hist(
+            [s.lat_values for s in shards], [s.lat_counts for s in shards]
+        )
+        hop_values, hop_counts = cls._merge_hist(
+            [s.hop_values for s in shards], [s.hop_counts for s in shards]
+        )
+        return cls(
+            cycles=sum(s.cycles for s in shards),
+            injected=sum(s.injected for s in shards),
+            delivered=sum(s.delivered for s in shards),
+            dropped=sum(s.dropped for s in shards),
+            lat_values=lat_values,
+            lat_counts=lat_counts,
+            hop_values=hop_values,
+            hop_counts=hop_counts,
+        )
+
+    def to_run_stats(self, cycles: int | None = None) -> RunStats:
+        """The :class:`RunStats` a single-process run would have produced
+        (``cycles`` overrides the summed drain timeline when the caller
+        tracked idle cycles separately)."""
+        cycles = self.cycles if cycles is None else int(cycles)
+        delivered = self.delivered
+        if delivered:
+            lat_sum = int(np.dot(self.lat_values, self.lat_counts))
+            hop_sum = int(np.dot(self.hop_values, self.hop_counts))
+            # the sorted multiset replayed: identical partition + lerp
+            lat = np.repeat(self.lat_values, self.lat_counts)
+            p95 = float(np.percentile(lat, 95))
+            mean_latency = lat_sum / delivered
+            mean_hops = hop_sum / delivered
+            max_latency = int(self.lat_values[-1])
+        else:
+            p95 = mean_latency = mean_hops = 0.0
+            max_latency = 0
+        return RunStats(
+            cycles=cycles,
+            injected=self.injected,
+            delivered=delivered,
+            dropped=self.dropped,
+            mean_latency=mean_latency,
+            p95_latency=p95,
+            max_latency=max_latency,
+            mean_hops=mean_hops,
+            throughput=delivered / cycles if cycles else 0.0,
+        )
+
+
+def _records_of(sim) -> PacketArrays:
+    """Structure-of-arrays packet records from either in-process engine."""
+    if hasattr(sim, "packet_records"):
+        return sim.packet_records()
+    return PacketArrays.from_packets(sim.packets)
+
+
+# ---------------------------------------------------------------------------
+# scenario specification
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scenario:
+    """One self-contained simulation: everything a worker process needs
+    to rebuild and run it (pure data — pickles by value).
+
+    ``faults`` are ``(cycle, node)`` pairs.  The ``reconfig`` controller
+    fires them on the honest timeline; the ``detour`` baseline has no
+    event clock and applies the nodes before any traffic.
+
+    ``shards > 1`` splits the scenario's injection batches across that
+    many independent tasks.  Because engines fully drain between batches,
+    the merged result is bit-identical to the sequential run — but only
+    when nothing couples the batches, so it requires ``batches >= shards``,
+    ``cycles_per_batch == 0`` and every fault at cycle 0 (checked here).
+    """
+
+    m: int
+    h: int
+    k: int = 1
+    pattern: str = "uniform"
+    packets: int = 1000
+    faults: tuple[tuple[int, int], ...] = ()
+    seed: int = 0
+    link_capacity: int = 1
+    batches: int = 1
+    cycles_per_batch: int = 0
+    controller: str = "reconfig"
+    engine: str = "batch"
+    shards: int = 1
+    max_cycles: int = 1_000_000
+
+    def __post_init__(self):
+        if self.pattern not in PATTERN_NAMES:
+            raise ParameterError(
+                f"unknown traffic pattern {self.pattern!r}; "
+                f"expected one of {PATTERN_NAMES}"
+            )
+        if self.controller not in _CONTROLLERS:
+            raise ParameterError(
+                f"unknown controller {self.controller!r}; "
+                f"expected one of {_CONTROLLERS}"
+            )
+        if self.engine not in ("object", "batch"):
+            # scenarios already run inside pool workers; a nested sharded
+            # engine would spawn pools-within-pools (and has no
+            # packet_records to reduce) — parallelism comes from the grid
+            raise ParameterError(
+                f"Scenario.engine must be 'object' or 'batch', got "
+                f"{self.engine!r}"
+            )
+        if self.batches < 1 or self.shards < 1:
+            raise ParameterError("batches and shards must be >= 1")
+        if self.controller == "detour" and self.cycles_per_batch:
+            raise ParameterError(
+                "controller='detour' does not support cycles_per_batch "
+                "(the detour baseline has no idle-gap timeline)"
+            )
+        object.__setattr__(
+            self,
+            "faults",
+            tuple((int(c), int(v)) for c, v in self.faults),
+        )
+        if self.controller == "reconfig" and len(self.faults) > self.k:
+            # fail at spec time with a readable message instead of a
+            # FaultSetError traceback out of a worker process mid-sweep
+            raise ParameterError(
+                f"scenario schedules {len(self.faults)} faults but "
+                f"B^{self.k}_{{{self.m},{self.h}}} has only {self.k} spares"
+            )
+        if self.shards > 1:
+            if self.batches < self.shards:
+                raise ParameterError(
+                    f"shards={self.shards} needs batches >= shards "
+                    f"(got batches={self.batches})"
+                )
+            if self.cycles_per_batch:
+                raise ParameterError(
+                    "per-batch sharding requires cycles_per_batch == 0 "
+                    "(idle gaps couple the batches)"
+                )
+            if any(c != 0 for c, _ in self.faults):
+                raise ParameterError(
+                    "per-batch sharding requires every fault at cycle 0 "
+                    "(mid-run faults couple the batches)"
+                )
+
+    @property
+    def label(self) -> str:
+        parts = [
+            f"B^{self.k}_{{{self.m},{self.h}}}",
+            self.pattern,
+            f"{self.packets}pkt",
+            f"seed{self.seed}",
+        ]
+        if self.faults:
+            parts.append(f"{len(self.faults)}flt")
+        if self.controller != "reconfig":
+            parts.append(self.controller)
+        return " ".join(parts)
+
+    def traffic(self) -> np.ndarray:
+        """The scenario's (src, dst) pairs — deterministic in ``seed``."""
+        from repro.simulator.traffic import make_pattern
+
+        n = self.m ** self.h
+        return make_pattern(
+            n, self.pattern, self.packets, np.random.default_rng(self.seed)
+        )
+
+    def injection_batches(self) -> list[np.ndarray]:
+        pairs = self.traffic()
+        if self.batches <= 1:
+            return [pairs]
+        return np.array_split(pairs, self.batches)
+
+    def build_controller(self, engine: str | None = None):
+        """Fresh controller with this scenario's faults wired in."""
+        from repro.simulator.faults import (
+            DetourController,
+            FaultScenario,
+            ReconfigurationController,
+        )
+
+        engine = engine or self.engine
+        if self.controller == "detour":
+            ctrl = DetourController(
+                self.m, self.h, engine=engine, link_capacity=self.link_capacity
+            )
+            for _, node in self.faults:
+                ctrl.fail_node(node)
+            return ctrl
+        ctrl = ReconfigurationController(
+            self.m, self.h, self.k, engine=engine,
+            link_capacity=self.link_capacity,
+        )
+        if self.faults:
+            ctrl.schedule(FaultScenario(list(self.faults)))
+        return ctrl
+
+    def run(self, batch_slice: slice | None = None) -> "ScenarioResult":
+        """Run (a shard of) this scenario in the current process.
+
+        ``batch_slice`` selects a contiguous run of injection batches —
+        the per-batch sharding unit.  ``None`` runs everything.
+        """
+        batches = self.injection_batches()
+        if batch_slice is not None:
+            batches = batches[batch_slice]
+        ctrl = self.build_controller()
+        t0 = time.perf_counter()
+        if self.controller == "detour":
+            ctrl.run_workload(batches, max_cycles=self.max_cycles)
+        else:
+            ctrl.run_workload(
+                batches,
+                cycles_per_batch=self.cycles_per_batch,
+                max_cycles=self.max_cycles,
+            )
+        seconds = time.perf_counter() - t0
+        stats = ShardStats.from_arrays(_records_of(ctrl.sim), ctrl.sim.cycle)
+        return ScenarioResult(
+            scenario=self,
+            stats=stats,
+            seconds=seconds,
+            lost_to_faults=getattr(ctrl, "lost_to_faults", 0),
+            unreachable_pairs=getattr(ctrl, "unreachable_pairs", 0),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's (or scenario shard's) outcome."""
+
+    scenario: Scenario
+    stats: ShardStats
+    seconds: float
+    lost_to_faults: int = 0
+    unreachable_pairs: int = 0
+
+    @property
+    def run_stats(self) -> RunStats:
+        return self.stats.to_run_stats()
+
+    def merged_with(self, others: Sequence["ScenarioResult"]) -> "ScenarioResult":
+        """Fold shard results of the *same* scenario into one record."""
+        parts = [self, *others]
+        return ScenarioResult(
+            scenario=self.scenario,
+            stats=ShardStats.merge(p.stats for p in parts),
+            seconds=sum(p.seconds for p in parts),
+            lost_to_faults=sum(p.lost_to_faults for p in parts),
+            unreachable_pairs=sum(p.unreachable_pairs for p in parts),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """Declarative sweep specification: the cartesian product of every
+    axis, expanded in a stable documented order.
+
+    Axes (in product order): ``mhk`` x ``patterns`` x ``loads`` x
+    ``fault_sets`` x ``seeds``.  Scalars (``link_capacity``, ``batches``,
+    ``cycles_per_batch``, ``controller``, ``shards``) apply to every cell.
+
+    >>> grid = ScenarioGrid(mhk=[(2, 4, 1)], patterns=["uniform"],
+    ...                     loads=[100], seeds=[0, 1])
+    >>> len(grid)
+    2
+    """
+
+    mhk: tuple[tuple[int, int, int], ...]
+    patterns: tuple[str, ...] = ("uniform",)
+    loads: tuple[int, ...] = (1000,)
+    fault_sets: tuple[tuple[tuple[int, int], ...], ...] = ((),)
+    seeds: tuple[int, ...] = (0,)
+    link_capacity: int = 1
+    batches: int = 1
+    cycles_per_batch: int = 0
+    controller: str = "reconfig"
+    shards: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "mhk", tuple((int(m), int(h), int(k)) for m, h, k in self.mhk)
+        )
+        object.__setattr__(self, "patterns", tuple(self.patterns))
+        object.__setattr__(self, "loads", tuple(int(p) for p in self.loads))
+        object.__setattr__(
+            self,
+            "fault_sets",
+            tuple(
+                tuple((int(c), int(v)) for c, v in fs) for fs in self.fault_sets
+            ),
+        )
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if not self.mhk:
+            raise ParameterError("ScenarioGrid needs at least one (m, h, k)")
+
+    def __len__(self) -> int:
+        return (
+            len(self.mhk) * len(self.patterns) * len(self.loads)
+            * len(self.fault_sets) * len(self.seeds)
+        )
+
+    def scenarios(self) -> list[Scenario]:
+        """Expand the grid into concrete :class:`Scenario` cells."""
+        out = []
+        for (m, h, k), pattern, load, faults, seed in itertools.product(
+            self.mhk, self.patterns, self.loads, self.fault_sets, self.seeds
+        ):
+            out.append(
+                Scenario(
+                    m=m, h=h, k=k, pattern=pattern, packets=load,
+                    faults=faults, seed=seed,
+                    link_capacity=self.link_capacity,
+                    batches=self.batches,
+                    cycles_per_batch=self.cycles_per_batch,
+                    controller=self.controller,
+                    shards=self.shards,
+                )
+            )
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (the CLI round-trips grids through this)."""
+        return {
+            "mhk": [list(t) for t in self.mhk],
+            "patterns": list(self.patterns),
+            "loads": list(self.loads),
+            "fault_sets": [[list(f) for f in fs] for fs in self.fault_sets],
+            "seeds": list(self.seeds),
+            "link_capacity": self.link_capacity,
+            "batches": self.batches,
+            "cycles_per_batch": self.cycles_per_batch,
+            "controller": self.controller,
+            "shards": self.shards,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "ScenarioGrid":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(spec) - known
+        if unknown:
+            raise ParameterError(f"unknown ScenarioGrid keys: {sorted(unknown)}")
+        return cls(**spec)
+
+
+# ---------------------------------------------------------------------------
+# the chunked work-stealing pool
+# ---------------------------------------------------------------------------
+
+def _resolve_workers(workers: int | None, n_tasks: int) -> int:
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(0, min(int(workers), n_tasks))
+
+
+def _pool_worker(func: Callable, task_q, result_q) -> None:
+    """Worker loop: steal the next chunk off the shared queue until the
+    sentinel arrives.  Runs in the child process."""
+    while True:
+        chunk = task_q.get()
+        if chunk is None:
+            return
+        for idx, task in chunk:
+            try:
+                result_q.put((idx, True, func(task)))
+            except Exception as exc:  # report task failures to the parent;
+                # KeyboardInterrupt/SystemExit propagate so Ctrl-C actually
+                # stops the worker instead of being swallowed per task
+                result_q.put(
+                    (idx, False, f"{type(exc).__name__}: {exc}\n"
+                                 f"{traceback.format_exc()}")
+                )
+
+
+class ShardDriver:
+    """A chunked work-stealing process pool for independent simulation
+    tasks.
+
+    Tasks go onto one shared queue in chunks; idle workers pull the next
+    chunk whenever they finish — dynamic load balancing, so one slow
+    scenario (hotspot drains routinely run an order of magnitude longer
+    than uniform ones) delays the pool by at most one chunk, not by a
+    statically assigned stripe.
+
+    Why not ``concurrent.futures.ProcessPoolExecutor``: the bespoke pool
+    keeps chunk granularity, result ordering, the inline ``workers<=1``
+    reference path and the failure contract (a :class:`SimulationError`
+    naming the failed task, dead workers detected by liveness polling)
+    in ~100 explicit lines that the tests pin down.  The trade is that
+    rarer hazards the stdlib hardens against (a worker dying *while
+    holding* the task-queue lock) are accepted as out of scope.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``None`` = ``os.cpu_count()`` capped by the task
+        count; ``0``/``1`` = run inline in this process (identical code
+        path, no pool — the reference the equivalence tests use).
+    chunk_size:
+        Tasks per steal.  ``None`` picks ``ceil(n / (workers * 4))`` —
+        four steals per worker on average, amortizing queue IPC while
+        keeping the straggler bound tight.
+    start_method:
+        ``multiprocessing`` start method; ``None`` prefers ``fork``
+        (cheap, Linux) and falls back to ``spawn``.
+    """
+
+    def __init__(self, workers: int | None = None, *,
+                 chunk_size: int | None = None,
+                 start_method: str | None = None):
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+
+    def _context(self):
+        import multiprocessing as mp
+
+        if self.start_method is not None:
+            return mp.get_context(self.start_method)
+        methods = mp.get_all_start_methods()
+        return mp.get_context("fork" if "fork" in methods else "spawn")
+
+    def map(self, func: Callable, tasks: Sequence) -> list:
+        """Run ``func`` over every task, preserving input order in the
+        result list.  Exceptions — in a worker or inline — re-raise as
+        :class:`SimulationError` naming the failed task; a worker process
+        dying without reporting (OOM kill, segfault) is detected and
+        raised instead of hanging."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        workers = _resolve_workers(self.workers, len(tasks))
+        if workers <= 1:
+            results = []
+            for idx, task in enumerate(tasks):
+                try:
+                    results.append(func(task))
+                except Exception as exc:
+                    raise SimulationError(
+                        f"shard worker failed on task {idx} ({task!r}): "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+            return results
+
+        import queue as _queue
+
+        chunk = self.chunk_size or max(1, -(-len(tasks) // (workers * 4)))
+        indexed = list(enumerate(tasks))
+        chunks = [indexed[i: i + chunk] for i in range(0, len(indexed), chunk)]
+
+        ctx = self._context()
+        task_q = ctx.Queue()
+        result_q = ctx.Queue()
+        for c in chunks:
+            task_q.put(c)
+        for _ in range(workers):
+            task_q.put(None)  # one sentinel per worker
+
+        procs = [
+            ctx.Process(
+                target=_pool_worker, args=(func, task_q, result_q), daemon=True
+            )
+            for _ in range(workers)
+        ]
+        for p in procs:
+            p.start()
+
+        results: list = [None] * len(tasks)
+        received = [False] * len(tasks)
+        failure: tuple[int, str] | None = None
+        died = False
+        try:
+            pending = len(tasks)
+            while pending:
+                try:
+                    idx, ok, payload = result_q.get(timeout=0.5)
+                except _queue.Empty:
+                    if any(p.is_alive() for p in procs):
+                        continue
+                    # every worker exited; anything still buffered arrives
+                    # within the grace get below, otherwise results are lost
+                    try:
+                        idx, ok, payload = result_q.get(timeout=0.5)
+                    except _queue.Empty:
+                        died = True
+                        break
+                if ok:
+                    results[idx] = payload
+                elif failure is None:
+                    failure = (idx, payload)
+                received[idx] = True
+                pending -= 1
+        finally:
+            for p in procs:
+                p.join(timeout=30)
+            for p in procs:
+                if p.is_alive():  # pragma: no cover - hung worker backstop
+                    p.terminate()
+                    p.join(timeout=5)
+        if failure is not None:
+            idx, message = failure
+            raise SimulationError(
+                f"shard worker failed on task {idx} ({tasks[idx]!r}): {message}"
+            )
+        if died:
+            lost = [i for i, got in enumerate(received) if not got]
+            raise SimulationError(
+                f"shard worker process(es) died without reporting "
+                f"(killed or crashed hard); {len(lost)} task(s) lost, "
+                f"first: {tasks[lost[0]]!r}"
+            )
+        return results
+
+
+# ---------------------------------------------------------------------------
+# grid execution
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _ScenarioTask:
+    """One unit of pool work: a scenario, or one batch-shard of it."""
+
+    scenario: Scenario
+    batch_slice: tuple[int, int] | None = None
+
+    def run(self) -> ScenarioResult:
+        sl = slice(*self.batch_slice) if self.batch_slice else None
+        return self.scenario.run(batch_slice=sl)
+
+
+def _run_scenario_task(task: _ScenarioTask) -> ScenarioResult:
+    return task.run()
+
+
+def _expand_tasks(scenarios: Sequence[Scenario]) -> tuple[list[_ScenarioTask], list[int]]:
+    """Flatten scenarios into pool tasks; ``owner[i]`` maps task ``i``
+    back to its scenario index (shards of one scenario share an owner)."""
+    tasks: list[_ScenarioTask] = []
+    owners: list[int] = []
+    for si, sc in enumerate(scenarios):
+        if sc.shards <= 1:
+            tasks.append(_ScenarioTask(sc))
+            owners.append(si)
+            continue
+        bounds = np.linspace(0, sc.batches, sc.shards + 1).astype(int)
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            if a == b:
+                continue
+            tasks.append(_ScenarioTask(sc, (int(a), int(b))))
+            owners.append(si)
+    return tasks, owners
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Everything a sweep produced: per-scenario results (grid order) and
+    the exact cross-scenario aggregate."""
+
+    results: tuple[ScenarioResult, ...]
+    seconds: float                      # wall clock of the whole sweep
+    workers: int
+
+    @property
+    def aggregate(self) -> ShardStats:
+        return ShardStats.merge(r.stats for r in self.results)
+
+    @property
+    def aggregate_stats(self) -> RunStats:
+        return self.aggregate.to_run_stats()
+
+    def rows(self) -> list[dict]:
+        """JSON-friendly per-scenario rows (reporting/CI artifacts)."""
+        out = []
+        for r in self.results:
+            sc, st = r.scenario, r.run_stats
+            out.append({
+                "scenario": sc.label,
+                "m": sc.m, "h": sc.h, "k": sc.k,
+                "pattern": sc.pattern, "packets": sc.packets,
+                "faults": [list(f) for f in sc.faults],
+                "seed": sc.seed,
+                "controller": sc.controller,
+                "cycles": st.cycles,
+                "delivered": st.delivered,
+                "dropped": st.dropped,
+                "mean_latency": round(st.mean_latency, 4),
+                "p95_latency": round(st.p95_latency, 4),
+                "throughput": round(st.throughput, 4),
+                "seconds": round(r.seconds, 4),
+            })
+        return out
+
+
+def run_grid(
+    grid: ScenarioGrid | Sequence[Scenario],
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    driver: ShardDriver | None = None,
+) -> GridResult:
+    """Sweep a scenario grid across a worker pool and reduce the shards.
+
+    The per-scenario results come back in grid order regardless of which
+    worker finished first, and the merged aggregate is bit-identical to
+    running every scenario inline (``workers=0``) — the reducer is exact.
+    """
+    scenarios = grid.scenarios() if isinstance(grid, ScenarioGrid) else list(grid)
+    for sc in scenarios:
+        if not isinstance(sc, Scenario):
+            raise ParameterError(f"run_grid expects Scenario cells, got {sc!r}")
+    tasks, owners = _expand_tasks(scenarios)
+    drv = driver or ShardDriver(workers=workers, chunk_size=chunk_size)
+    t0 = time.perf_counter()
+    raw = drv.map(_run_scenario_task, tasks)
+    seconds = time.perf_counter() - t0
+
+    by_owner: dict[int, list[ScenarioResult]] = {}
+    for owner, res in zip(owners, raw):
+        by_owner.setdefault(owner, []).append(res)
+    merged = tuple(
+        by_owner[i][0].merged_with(by_owner[i][1:]) for i in range(len(scenarios))
+    )
+    return GridResult(
+        results=merged,
+        seconds=seconds,
+        workers=_resolve_workers(drv.workers, len(tasks)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# engine="sharded": drop-in engine for the fault controllers
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _RouteShard:
+    """A pre-routed injection batch, frozen with the fault state it was
+    validated against — everything a worker needs to drain it."""
+
+    graph: StaticGraph
+    link_capacity: int
+    flat: np.ndarray
+    offsets: np.ndarray
+    dead_nodes: tuple[int, ...]
+    dead_links: tuple[tuple[int, int], ...]
+    validate: bool
+    max_cycles: int = 1_000_000
+
+
+def _run_route_shard(shard: _RouteShard) -> ShardStats:
+    """Drain one route shard in a fresh :class:`BatchEngine` (worker side)."""
+    be = BatchEngine(shard.graph, shard.link_capacity)
+    for v in shard.dead_nodes:
+        be.disable_node(v)
+    for u, v in shard.dead_links:
+        be.disable_link(u, v)
+    be.inject_routes(shard.flat, shard.offsets, validate=shard.validate)
+    if be.in_flight:
+        be.run(max_cycles=shard.max_cycles)
+    return ShardStats.from_arrays(be.packet_records(), be.cycle)
+
+
+class ShardedEngine:
+    """The ``engine="sharded"`` backend for the fault controllers.
+
+    Each :meth:`inject_routes` call records one *shard* — an injection
+    batch frozen with the current fault state — instead of simulating it.
+    :meth:`drain` (or :meth:`run`/:meth:`step`) then drains every pending
+    shard in a fresh :class:`BatchEngine` across the worker pool and
+    merges the :class:`ShardStats`.
+
+    Equivalence contract: because the controllers fully drain between
+    batches, the merged statistics are bit-identical to ``engine="batch"``
+    on the same workload *as long as no fault fires mid-drain*.  A fault
+    scheduled mid-drain is deferred to the end of the draining batch
+    (batch-boundary granularity) and drops nothing in flight — the
+    controllers go batch-at-a-time while events are pending precisely to
+    bound that skew.  Use ``engine="batch"`` when exact mid-drain fault
+    timing is the point of the experiment.
+    """
+
+    def __init__(self, graph: StaticGraph, link_capacity: int = 1, *,
+                 workers: int | None = None,
+                 driver: ShardDriver | None = None):
+        if link_capacity < 1:
+            raise SimulationError("link_capacity must be >= 1")
+        self.graph = graph
+        self.link_capacity = int(link_capacity)
+        self.cycle = 0
+        self.driver = driver or ShardDriver(workers=workers)
+        self._n = graph.node_count
+        self._dead = np.zeros(self._n, dtype=bool)
+        self._dead_link_keys = np.zeros(0, dtype=_I64)  # sorted u * n + v
+        self._pending: list[_RouteShard] = []
+        self._pending_packets = 0
+        self._done: list[ShardStats] = []
+        self._injected = 0
+
+    # -- fault state --------------------------------------------------------
+
+    @property
+    def dead_nodes(self) -> frozenset[int]:
+        return frozenset(int(v) for v in np.flatnonzero(self._dead))
+
+    def _dead_link_pairs(self) -> tuple[tuple[int, int], ...]:
+        """The dead directed links as plain pairs (shard snapshots)."""
+        return tuple(
+            (int(k) // self._n, int(k) % self._n) for k in self._dead_link_keys
+        )
+
+    def disable_node(self, v: int) -> int:
+        """Mark a node dead for everything injected from now on.  Pending
+        shards were injected before the fault, so they drain first (the
+        batch-boundary timing contract); nothing is ever dropped mid-queue
+        here, hence the constant 0."""
+        v = int(v)
+        if not 0 <= v < self._n:
+            raise SimulationError(
+                f"cannot disable node {v}: not a node of the graph [0, {self._n})"
+            )
+        if self._pending:
+            self.drain()
+        self._dead[v] = True
+        return 0
+
+    def disable_link(self, u: int, v: int) -> int:
+        """Fail the undirected link ``{u, v}`` for future injections."""
+        u, v = int(u), int(v)
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            raise SimulationError(
+                f"cannot disable link ({u}, {v}): endpoint out of range "
+                f"[0, {self._n})"
+            )
+        if not self.graph.has_edge(u, v):
+            raise SimulationError(
+                f"cannot disable link ({u}, {v}): not an edge of the graph"
+            )
+        if self._pending:
+            self.drain()
+        keys = np.array([u * self._n + v, v * self._n + u], dtype=_I64)
+        self._dead_link_keys = np.unique(
+            np.concatenate([self._dead_link_keys, keys])
+        )
+        return 0
+
+    # -- injection ----------------------------------------------------------
+
+    def inject_route(self, route: Sequence[int], *, validate: bool = True) -> int:
+        arr = np.array([int(v) for v in route], dtype=_I64)
+        if arr.size < 1:
+            raise SimulationError("route must contain at least the source")
+        pids = self.inject_routes(
+            arr, np.array([0, arr.size], dtype=_I64), validate=validate
+        )
+        return int(pids[0])
+
+    def inject_routes(
+        self, flat: np.ndarray, offsets: np.ndarray, *, validate: bool = True
+    ) -> np.ndarray:
+        """Record one shard.  Validation runs *now*, against the current
+        fault state, through the engines' shared
+        :func:`repro.simulator.batch_engine.validate_injection` — so a bad
+        route raises at the same program point as the other engines."""
+        flat, offsets, _, _, lens = validate_injection(
+            self.graph, flat, offsets, validate=validate,
+            dead_mask=self._dead, dead_link_keys=self._dead_link_keys,
+        )
+        if lens.size == 0:
+            return np.zeros(0, dtype=_I64)
+
+        self._pending.append(
+            _RouteShard(
+                graph=self.graph,
+                link_capacity=self.link_capacity,
+                flat=flat.copy(),
+                offsets=offsets.copy(),
+                dead_nodes=tuple(
+                    int(v) for v in np.flatnonzero(self._dead)
+                ),
+                dead_links=self._dead_link_pairs(),
+                validate=False,  # validated above; workers skip the re-check
+            )
+        )
+        count = int(lens.size)
+        pids = np.arange(self._injected, self._injected + count, dtype=_I64)
+        self._injected += count
+        self._pending_packets += count
+        return pids
+
+    # -- execution ----------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Packets injected but not yet drained."""
+        return self._pending_packets
+
+    @property
+    def injected(self) -> int:
+        return self._injected
+
+    def drain(self, max_cycles: int = 1_000_000) -> int:
+        """Drain every pending shard across the pool; advances the cycle
+        clock by the summed drain durations (the sequential timeline) and
+        returns the number of packets delivered in the wave."""
+        if not self._pending:
+            return 0
+        shards = [replace(s, max_cycles=max_cycles) for s in self._pending]
+        self._pending = []
+        self._pending_packets = 0
+        stats = self.driver.map(_run_route_shard, shards)
+        self._done.extend(stats)
+        self.cycle += sum(s.cycles for s in stats)
+        return sum(s.delivered for s in stats)
+
+    def step(self) -> int:
+        """One controller-visible step: drain the pending wave if there is
+        one, else spend an idle cycle."""
+        if self._pending:
+            return self.drain()
+        self.cycle += 1
+        return 0
+
+    def run(self, max_cycles: int = 1_000_000) -> RunStats:
+        self.drain(max_cycles=max_cycles)
+        return self.stats()
+
+    # -- records ------------------------------------------------------------
+
+    def shard_stats(self) -> ShardStats:
+        """Merged mergeable statistics over every drained shard."""
+        return ShardStats.merge(self._done)
+
+    def stats(self) -> RunStats:
+        """Aggregate statistics (drains pending shards first, so the
+        numbers always cover everything injected)."""
+        if self._pending:
+            self.drain()
+        return self.shard_stats().to_run_stats(cycles=self.cycle)

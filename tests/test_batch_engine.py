@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import debruijn, ft_debruijn
+from repro.core import debruijn
 from repro.errors import SimulationError
 from repro.graphs import path
 from repro.routing import shift_route

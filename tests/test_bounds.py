@@ -8,9 +8,7 @@ from repro.core import (
     ConstructionSpec,
     bus_ft_debruijn,
     corollary_table,
-    debruijn,
     ft_debruijn,
-    ft_degree_bound,
     natural_ft_shuffle_exchange,
     optimal_ft_node_count,
     paper_constructions,

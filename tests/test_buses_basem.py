@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import (
     bus_degree_bound_basem,
     bus_ft_debruijn_basem,
     debruijn,
-    ft_debruijn,
     ft_degree_bound,
     rank_remap,
     verify_bus_embedding,

@@ -79,6 +79,42 @@ class TestBenchEngines:
         assert "speedup" in out
 
 
+class TestSweep:
+    def test_sweep_inline_with_check(self, capsys, tmp_path):
+        out = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "--mhk", "2,4,1", "--mhk", "2,5,1",
+            "--pattern", "uniform", "--packets", "150",
+            "--fault-set", "", "--fault-set", "0:3",
+            "--seeds", "2", "--workers", "0",
+            "--check-single", "--json", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "scenario grid: 8 scenarios" in text
+        assert "identical aggregate: True" in text
+        assert out.exists()
+        import json
+
+        payload = json.loads(out.read_text())
+        assert len(payload["scenarios"]) == 8
+        assert payload["aggregate"]["injected"] == 8 * 150
+
+    def test_sweep_multiprocess(self, capsys):
+        assert main([
+            "sweep", "--mhk", "2,4,1", "--packets", "100",
+            "--seeds", "2", "--workers", "2",
+        ]) == 0
+        assert "aggregate over 2 scenarios" in capsys.readouterr().out
+
+    def test_sweep_bad_mhk(self, capsys):
+        assert main(["sweep", "--mhk", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_bad_fault_set(self, capsys):
+        assert main(["sweep", "--mhk", "2,4,1", "--fault-set", "xx"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestMisc:
     def test_demo(self, capsys):
         assert main(["demo"]) == 0

@@ -23,7 +23,9 @@ MODULE_NAMES = [
     "repro.core.edge_faults",
     "repro.graphs.static_graph",
     "repro.routing.shift_register",
+    "repro.routing.tables",
     "repro.simulator.events",
+    "repro.simulator.shard_driver",
     "repro.analysis.reliability",
 ]
 MODULES = [importlib.import_module(name) for name in MODULE_NAMES]

@@ -61,7 +61,7 @@ class TestComposition:
     def test_compose_the_paper_chain(self):
         """SE_h ⊆ B_{2,h} composed with B_{2,h} -> survivors of B^k_{2,h}
         (the §I argument for the FT shuffle-exchange)."""
-        from repro.core import embed_se_in_debruijn, embed_after_faults, shuffle_exchange
+        from repro.core import embed_se_in_debruijn, embed_after_faults
 
         h, k = 3, 1
         inner = embed_se_in_debruijn(h)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -37,12 +36,17 @@ class TestNodeCounts:
 
 
 class TestDegrees:
-    @pytest.mark.parametrize("m,k,expected", [(2, 0, 4), (2, 1, 8), (2, 3, 16), (3, 1, 14), (4, 2, 32)])
+    @pytest.mark.parametrize(
+        "m,k,expected", [(2, 0, 4), (2, 1, 8), (2, 3, 16), (3, 1, 14), (4, 2, 32)]
+    )
     def test_degree_bound_formula(self, m, k, expected):
         # degree at most 4(m-1)k + 2m  (Corollaries 1-4)
         assert ft_degree_bound(m, k) == expected
 
-    @pytest.mark.parametrize("m,h,k", [(2, 3, 1), (2, 3, 2), (2, 4, 1), (2, 4, 3), (3, 3, 1), (3, 3, 2), (4, 3, 1)])
+    @pytest.mark.parametrize(
+        "m,h,k",
+        [(2, 3, 1), (2, 3, 2), (2, 4, 1), (2, 4, 3), (3, 3, 1), (3, 3, 2), (4, 3, 1)],
+    )
     def test_measured_degree_within_bound(self, m, h, k):
         g = ft_debruijn(m, h, k)
         assert g.max_degree() <= ft_degree_bound(m, k)

@@ -8,7 +8,6 @@ for counterexamples over randomized parameters and fault sets.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -17,7 +17,7 @@ from repro.algorithms import (
     run_reference,
 )
 from repro.core import shuffle_exchange
-from repro.errors import ParameterError, SimulationError
+from repro.errors import ParameterError
 
 
 def xor_op(bit, i, own, partner):

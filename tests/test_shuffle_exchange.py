@@ -22,7 +22,7 @@ from repro.core import (
     se_node_count,
     shuffle_exchange,
 )
-from repro.core.labels import rotate_left, rotate_right, weight
+from repro.core.labels import rotate_right, weight
 from repro.errors import ParameterError
 from repro.graphs import find_embedding, is_connected, verify_embedding
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core import bus_debruijn, bus_ft_debruijn
-from repro.core.buses import bus_debruijn as _bus_db  # explicit import check
 from repro.errors import SimulationError
 from repro.graphs import BusHypergraph
 from repro.simulator import BusNetworkSimulator

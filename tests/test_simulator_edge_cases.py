@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.graphs import BusHypergraph, StaticGraph, path
-from repro.simulator import BusNetworkSimulator, NetworkSimulator, RunStats, summarize
+from repro.simulator import BusNetworkSimulator, NetworkSimulator, summarize
 from repro.simulator.packets import Packet
 
 

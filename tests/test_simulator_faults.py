@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import SimulationError
 from repro.simulator import (
     DetourController,
     FaultScenario,

@@ -4,10 +4,9 @@ checked at every step (failure-injection soak testing)."""
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.algorithms import FaultTolerantMachine, bitonic_sort_on_debruijn
-from repro.core import debruijn, embed_after_faults, ft_debruijn
+from repro.core import debruijn, ft_debruijn
 from repro.core.reconfiguration import Reconfigurator
 from repro.errors import FaultSetError
 from repro.graphs import is_connected, verify_embedding

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis import all_experiment_ids, format_table, run_experiment
@@ -67,8 +66,8 @@ class TestReportRegistry:
     def test_ids_stable(self):
         ids = all_experiment_ids()
         assert "FIG1" in ids and "TAB1" in ids and "REL" in ids
-        assert "DIL" in ids and "SEALG" in ids
-        assert len(ids) == 21
+        assert "DIL" in ids and "SEALG" in ids and "SWEEP" in ids
+        assert len(ids) == 22
 
     @pytest.mark.parametrize(
         "exp_id", ["FIG1", "FIG2", "FIG4", "TAB2", "COR14", "BUSDEG", "REL", "SENAT"]

@@ -16,10 +16,21 @@ Two row kinds:
   ``ReconfigurationController`` with a mid-run fault schedule (routing
   is shared and vectorized for both, so the ratio isolates pure
   simulation speed under honest fault timing).
+* ``driver="sweep"`` — a multi-scenario grid through the sharded
+  multi-process driver vs the same grid single-process: records the
+  wall-clock speedup of ``repro.simulator.shard_driver.run_grid`` and
+  checks the merged aggregate is bit-identical.  The speedup scales with
+  physical cores; single-core machines report ~1x or below (the workers
+  column records what ran).
+
+The report exits nonzero — naming each offending workload on stderr —
+whenever any row disagrees across engines, so CI can use it as a
+cross-engine regression gate.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_engines_report.py [--quick] [--out PATH]
+        [--workers N]
 """
 
 from __future__ import annotations
@@ -48,6 +59,9 @@ from repro.simulator import (  # noqa: E402
 # (driver, pattern, m, h, k, packets, faults)
 #   engine rows:     faults = static dead physical nodes
 #   controller rows: faults = (cycle, node) mid-run schedule
+#   sweep rows:      faults = per-scenario (cycle, node) schedule; the grid
+#                    spans sizes x patterns x fault sets x seeds (see
+#                    run_sweep_row) and `packets` is the per-scenario load
 FULL_SUITE = [
     ("engine", "uniform", 2, 10, 1, 100_000, []),
     ("engine", "uniform", 2, 8, 2, 20_000, [40]),
@@ -55,10 +69,12 @@ FULL_SUITE = [
     ("engine", "hotspot", 2, 8, 1, 20_000, []),
     ("engine", "descend", 2, 9, 1, 50_000, []),
     ("controller", "uniform", 2, 8, 2, 20_000, [(5, 40)]),
+    ("sweep", "uniform", 2, 9, 1, 40_000, [(0, 40)]),
 ]
 QUICK_SUITE = [
     ("engine", "uniform", 2, 7, 1, 5_000, []),
     ("controller", "uniform", 2, 6, 1, 4_000, [(3, 9)]),
+    ("sweep", "uniform", 2, 7, 1, 4_000, [(0, 9)]),
 ]
 
 
@@ -120,15 +136,54 @@ def run_controller_row(pattern, m, h, k, packets, faults, seed=0):
     return times["object"], times["batch"], stats["batch"], identical, int(pairs.shape[0])
 
 
-def run_config(driver, pattern, m, h, k, packets, faults, seed=0):
+def run_sweep_row(pattern, m, h, k, packets, faults, seed=0, workers=None):
+    """Race the sharded multi-process driver against a single-process run
+    of the same scenario grid; the merged aggregates must be bit-identical."""
+    from repro.simulator.shard_driver import ScenarioGrid, run_grid
+
+    grid = ScenarioGrid(
+        mhk=[(m, h, k), (m, h - 1, k)],
+        patterns=[pattern, "hotspot"],
+        loads=[packets],
+        fault_sets=[(), tuple(tuple(f) for f in faults)],
+        seeds=[seed],
+    )
+    sharded = run_grid(grid, workers=workers)
+    single = run_grid(grid, workers=0)
+    identical = (
+        sharded.aggregate_stats == single.aggregate_stats
+        and all(
+            a.run_stats == b.run_stats
+            for a, b in zip(sharded.results, single.results)
+        )
+    )
+    agg = sharded.aggregate_stats
+    # the generic (object, batch) columns hold (single-process, sharded)
+    # for sweep rows; the explicit aliases keep the JSON self-describing
+    return single.seconds, sharded.seconds, agg, identical, agg.injected, {
+        "scenarios": len(grid),
+        "workers": sharded.workers,
+        "single_seconds": round(single.seconds, 4),
+        "sharded_seconds": round(sharded.seconds, 4),
+    }
+
+
+def run_config(driver, pattern, m, h, k, packets, faults, seed=0, workers=None):
+    extra = {}
     if driver == "engine":
         t_obj, t_bat, st, identical, count = run_engine_row(
             pattern, m, h, k, packets, faults, seed
         )
-    else:
+    elif driver == "controller":
         t_obj, t_bat, st, identical, count = run_controller_row(
             pattern, m, h, k, packets, faults, seed
         )
+    elif driver == "sweep":
+        t_obj, t_bat, st, identical, count, extra = run_sweep_row(
+            pattern, m, h, k, packets, faults, seed, workers
+        )
+    else:
+        raise ValueError(f"unknown driver {driver!r}")
     return {
         "driver": driver, "pattern": pattern, "m": m, "h": h, "k": k,
         "packets": count,
@@ -140,6 +195,7 @@ def run_config(driver, pattern, m, h, k, packets, faults, seed=0):
         "dropped": st.dropped,
         "speedup": round(t_obj / t_bat, 2),
         "identical_stats": identical,
+        **extra,
     }
 
 
@@ -148,18 +204,23 @@ def main(argv=None) -> int:
     ap.add_argument("--quick", action="store_true",
                     help="small configs only (seconds, for smoke-testing)")
     ap.add_argument("--out", default=None, help="output path for the JSON report")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="worker processes for sweep rows "
+                    "(default: one per CPU core)")
     args = ap.parse_args(argv)
 
     suite = QUICK_SUITE if args.quick else FULL_SUITE
     rows = []
     for cfg in suite:
-        row = run_config(*cfg)
+        row = run_config(*cfg, workers=args.workers)
         rows.append(row)
+        left = "single" if row["driver"] == "sweep" else "object"
+        right = "sharded" if row["driver"] == "sweep" else "batch"
         print(
             f"{row['driver']:>10} {row['pattern']:>10} "
             f"B^{row['k']}_{{{row['m']},{row['h']}}} {row['packets']:>7} pkts  "
-            f"object {row['object_seconds']:8.3f}s  "
-            f"batch {row['batch_seconds']:7.3f}s  {row['speedup']:6.1f}x  "
+            f"{left} {row['object_seconds']:8.3f}s  "
+            f"{right} {row['batch_seconds']:7.3f}s  {row['speedup']:6.1f}x  "
             f"identical={row['identical_stats']}"
         )
 
@@ -174,8 +235,17 @@ def main(argv=None) -> int:
     )
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
-    ok = all(r["identical_stats"] for r in rows)
-    return 0 if ok else 1
+    bad = [r for r in rows if not r["identical_stats"]]
+    for r in bad:
+        print(
+            f"ENGINE DISAGREEMENT: driver={r['driver']} pattern={r['pattern']} "
+            f"B^{r['k']}_{{{r['m']},{r['h']}}} packets={r['packets']} "
+            f"faults={r['faults']}",
+            file=sys.stderr,
+        )
+    if bad:
+        print(f"{len(bad)} workload(s) disagree across engines", file=sys.stderr)
+    return 1 if bad else 0
 
 
 if __name__ == "__main__":
