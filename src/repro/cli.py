@@ -12,6 +12,9 @@ Commands
 ``sweep``         run a scenario grid (sizes x patterns x fault sets x
                   seeds) across a multi-process worker pool and reduce
                   the shards into one exact aggregate
+``saturate``      stream open-loop traffic at a ladder of offered loads,
+                  bisect the saturation point, and emit offered-load vs
+                  delivered-throughput curves per fault scenario
 """
 
 from __future__ import annotations
@@ -225,6 +228,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         batches=args.batches,
         cycles_per_batch=args.cycles_per_batch,
         controller=args.controller,
+        engine=args.engine,
         shards=args.shards,
     )
     print(f"scenario grid: {len(grid)} scenarios "
@@ -254,8 +258,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"speedup {t_single / result.seconds:.2f}x, "
               f"identical aggregate: {identical}")
     if args.json:
+        # record engine + workers so published curves state what produced
+        # them (reproducibility: rerunning the JSON spec must match)
         payload = {
             "grid": grid.to_dict(),
+            "engine": grid.engine,
             "workers": result.workers,
             "seconds": round(result.seconds, 4),
             "scenarios": rows,
@@ -274,6 +281,91 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"wrote {args.json}")
     return 1 if check_failed else 0
+
+
+def _cmd_saturate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.reporting import format_table
+    from repro.simulator.streaming import StreamScenario, find_saturation
+
+    m, h, k = _parse_mhk(args.mhk)
+    n = m ** h
+    if args.rates:
+        rates = [float(x) for x in args.rates.split(",")]
+    else:
+        # geometric ladder up to the machine's aggregate link budget;
+        # uniform traffic on B_{m,h} saturates well inside it
+        top = n * args.capacity
+        rates = [top / 16, top / 8, top / 4, top / 2, float(top)]
+    warmup = args.warmup if args.warmup >= 0 else args.cycles // 5
+    window = args.window if args.window >= 0 else max(1, args.cycles // 15)
+    fault_sets = [_parse_fault_set(s) for s in (args.fault_set or [""])]
+
+    curves = []
+    for fs in fault_sets:
+        base = StreamScenario(
+            m=m, h=h, k=k, source=args.source, pattern=args.pattern,
+            cycles=args.cycles, warmup=warmup, window=window,
+            faults=fs, seed=args.seed, link_capacity=args.capacity,
+            controller=args.controller, engine=args.engine,
+        )
+        res = find_saturation(
+            base, rates, bisect=args.bisect, threshold=args.threshold,
+            workers=args.workers,
+        )
+        label = f"faults {list(fs)}" if fs else "fault-free"
+        print(f"\n{base.label} — {label}")
+        print(format_table(res.curve()))
+        if res.bracketed:
+            print(f"saturation ~ {res.saturation_rate:.3f} pkt/cycle "
+                  f"(stable {res.stable_rate:.3f}, "
+                  f"unstable {res.unstable_rate:.3f}, "
+                  f"threshold {res.threshold})")
+        else:
+            bound = "lower" if res.stable_rate else "upper"
+            print(f"saturation not bracketed by the rate ladder; "
+                  f"{bound} bound ~ {res.saturation_rate:.3f} pkt/cycle")
+        curves.append((fs, res))
+
+    if args.json:
+        payload = {
+            "machine": {"m": m, "h": h, "k": k},
+            "source": args.source,
+            "pattern": args.pattern,
+            "cycles": args.cycles,
+            "warmup": warmup,
+            "window": window,
+            "link_capacity": args.capacity,
+            "controller": args.controller,
+            # reproducibility: published curves record what produced them
+            # (the pool size the ladder actually resolved to; bisection
+            # probes always run inline)
+            "engine": args.engine,
+            "workers": curves[0][1].workers,
+            "threshold": args.threshold,
+            "rates": rates,
+            "seed": args.seed,
+            "curves": [
+                {
+                    "fault_set": [list(f) for f in fs],
+                    "saturation_rate": res.saturation_rate,
+                    "stable_rate": res.stable_rate,
+                    "unstable_rate": (
+                        None if res.unstable_rate == float("inf")
+                        else res.unstable_rate
+                    ),
+                    "bracketed": res.bracketed,
+                    "points": res.curve(),
+                }
+                for fs, res in curves
+            ],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -365,6 +457,9 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--cycles-per-batch", type=int, default=0)
     sw.add_argument("--controller", choices=["reconfig", "detour"],
                     default="reconfig")
+    sw.add_argument("--engine", choices=["object", "batch"], default="batch",
+                    help="simulation engine per scenario (recorded in the "
+                    "JSON so published curves are reproducible)")
     sw.add_argument("--shards", type=int, default=1,
                     help="split each scenario's batches over this many tasks")
     sw.add_argument("--workers", type=int, default=None,
@@ -378,6 +473,57 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--json", default=None, metavar="PATH",
                     help="write per-scenario rows + aggregate as JSON")
     sw.set_defaults(func=_cmd_sweep)
+
+    from repro.simulator.sources import SOURCE_NAMES
+
+    st = sub.add_parser(
+        "saturate",
+        help="offered-load vs delivered-throughput curves with a "
+             "bisected saturation point",
+        description="Open-loop load sweep: a seeded traffic source "
+                    "streams arrivals per cycle at each rung of a rate "
+                    "ladder (in parallel across worker processes), the "
+                    "saturation point is bracketed and bisected, and "
+                    "one curve is emitted per --fault-set.  Rates are "
+                    "aggregate packets per cycle; a point counts as "
+                    "stable while delivered/offered stays above "
+                    "--threshold inside the measurement window.",
+    )
+    st.add_argument("--mhk", default="2,6,1", metavar="M,H,K",
+                    help="machine size (default 2,6,1)")
+    st.add_argument("--source", choices=SOURCE_NAMES, default="poisson")
+    st.add_argument("--pattern", choices=PATTERN_NAMES, default="uniform")
+    st.add_argument("--rates", default=None, metavar="R1,R2,...",
+                    help="offered-load ladder in pkt/cycle (default: a "
+                    "geometric ladder up to n * capacity)")
+    st.add_argument("--cycles", type=int, default=1500,
+                    help="injection horizon per point (cycles)")
+    st.add_argument("--warmup", type=int, default=-1,
+                    help="cycles excluded from measurement "
+                    "(default: cycles/5)")
+    st.add_argument("--window", type=int, default=-1,
+                    help="window-series granularity "
+                    "(default: cycles/15; 0 disables)")
+    st.add_argument("--fault-set", action="append", default=None,
+                    metavar="CYCLE:NODE[,...]",
+                    help="fault schedule, repeatable ('' = fault-free); "
+                    "one saturation curve per set")
+    st.add_argument("--bisect", type=int, default=5,
+                    help="bisection refinements after bracketing")
+    st.add_argument("--threshold", type=float, default=0.95,
+                    help="delivered/offered ratio above which a point "
+                    "counts as stable")
+    st.add_argument("--capacity", type=int, default=1)
+    st.add_argument("--controller", choices=["reconfig", "detour"],
+                    default="reconfig")
+    st.add_argument("--engine", choices=["object", "batch"], default="batch")
+    st.add_argument("--seed", type=int, default=0)
+    st.add_argument("--workers", type=int, default=None,
+                    help="worker processes for the ladder phase "
+                    "(default: one per CPU core; 0 = inline)")
+    st.add_argument("--json", default=None, metavar="PATH",
+                    help="write the curves + saturation points as JSON")
+    st.set_defaults(func=_cmd_saturate)
     return p
 
 

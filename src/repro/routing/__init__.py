@@ -1,4 +1,24 @@
-"""Routing: shift-register de Bruijn routes, BFS paths, tables, fault routing."""
+"""Routing: how logical messages become physical node paths.
+
+Four families, all emitting routes the simulation engines inject
+directly (single paths as node lists, batches as flattened
+``(flat, offsets)`` int64 arrays):
+
+* **shift-register** (:mod:`~repro.routing.shift_register`) — the
+  analytic de Bruijn route: shift in the destination's digits, at most
+  ``h`` hops; scalar (:func:`shift_route`) and fully vectorized batch
+  (:func:`shift_route_batch`) forms.
+* **BFS shortest paths** (:mod:`~repro.routing.shortest_path`) — exact
+  hop-optimal paths and the parent trees tables compile from.
+* **compiled tables** (:mod:`~repro.routing.tables`) — dense pickle-safe
+  next-hop arrays (:class:`RouteTable`): compile once per fault epoch,
+  ship to shard workers, extract whole batches vectorized.
+* **fault routing** (:mod:`~repro.routing.fault_routing`) — the paper's
+  reconfigured lift (:class:`ReconfiguredRouter`,
+  :func:`lifted_routes_batch`: route on the intact logical graph, lift
+  through φ, zero dilation) vs the spare-less baseline
+  (:func:`detour_route`: BFS around faults in the survivor graph).
+"""
 
 from repro.routing.shift_register import (
     overlap_length,

@@ -134,6 +134,7 @@ class RouteTable:
 
     @property
     def node_count(self) -> int:
+        """Nodes the table routes over (its square dimension)."""
         return int(self.table.shape[0])
 
     def route(self, src: int, dst: int) -> list[int]:

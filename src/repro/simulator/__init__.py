@@ -20,11 +20,29 @@ The fault controllers (:class:`ReconfigurationController`,
 "sharded"``.  Scenario *sweeps* — grids over sizes, patterns, fault
 sets and seeds — run multi-process through :func:`run_grid` /
 :class:`ScenarioGrid` (also the CLI ``sweep`` subcommand).
+
+Two ways to load the machine:
+
+* **closed loop** — inject fixed batches and drain them
+  (``run_workload``); measures makespan and per-batch latency;
+* **open loop** — stream arrivals per cycle from a seeded
+  :class:`TrafficSource` (``run_stream`` / :func:`load_sweep` /
+  :func:`find_saturation`; CLI ``saturate``); measures sustained
+  throughput, backlog growth, and the saturation point.
 """
 
 from repro.simulator.events import Event, EventQueue
 from repro.simulator.packets import Packet
-from repro.simulator.metrics import PacketArrays, RunStats, summarize, summarize_arrays
+from repro.simulator.metrics import (
+    PacketArrays,
+    RunStats,
+    StreamStats,
+    WindowSeries,
+    stream_summary,
+    summarize,
+    summarize_arrays,
+    window_series,
+)
 from repro.simulator.network import NetworkSimulator
 from repro.simulator.batch_engine import BatchEngine, pack_routes
 from repro.simulator.bus_net import BusNetworkSimulator
@@ -54,8 +72,42 @@ from repro.simulator.shard_driver import (
     ShardStats,
     run_grid,
 )
+from repro.simulator.sources import (
+    SOURCE_NAMES,
+    DeterministicSource,
+    OnOffSource,
+    PoissonSource,
+    TraceSource,
+    TrafficSource,
+    make_source,
+)
+from repro.simulator.streaming import (
+    SaturationResult,
+    StreamPointResult,
+    StreamScenario,
+    find_saturation,
+    load_sweep,
+    run_stream,
+)
 
 __all__ = [
+    "SOURCE_NAMES",
+    "DeterministicSource",
+    "OnOffSource",
+    "PoissonSource",
+    "TraceSource",
+    "TrafficSource",
+    "make_source",
+    "SaturationResult",
+    "StreamPointResult",
+    "StreamScenario",
+    "StreamStats",
+    "WindowSeries",
+    "find_saturation",
+    "load_sweep",
+    "run_stream",
+    "stream_summary",
+    "window_series",
     "Event",
     "EventQueue",
     "Packet",

@@ -200,6 +200,8 @@ class BatchEngine:
 
     @property
     def dead_nodes(self) -> frozenset[int]:
+        """Nodes disabled so far (routes touching them are rejected at
+        injection and their queued packets were dropped)."""
         return frozenset(int(v) for v in np.flatnonzero(self._dead))
 
     def _drop_queues(self, predicate) -> int:
@@ -444,8 +446,35 @@ class BatchEngine:
         """Packets currently queued on some link."""
         return self._in_flight
 
+    def next_departure_cycle(self) -> int | None:
+        """The earliest future cycle with a scheduled departure, or
+        ``None`` when nothing is in flight.
+
+        This is the calendar's read side: a cycle is returned iff some
+        packet departs its current link exactly then, so a caller may
+        jump the clock straight to ``returned - 1`` and :meth:`step` once
+        without skipping any work (both :meth:`run` and the streaming
+        driver in :mod:`repro.simulator.streaming` rely on this).  Stale
+        heap entries (buckets already drained) are pruned lazily here.
+        """
+        heap = self._bucket_heap
+        while heap and heap[0] not in self._buckets:
+            heapq.heappop(heap)  # bucket already processed via step()
+        return heap[0] if heap else None
+
     def step(self) -> int:
-        """Advance one cycle; returns the number of packets delivered."""
+        """Advance one cycle; returns the number of packets delivered.
+
+        Calendar invariants the implementation maintains (see the module
+        docstring for why these make departure slots exact):
+
+        * every in-flight packet sits in exactly one future bucket, keyed
+          by its precomputed departure cycle;
+        * a bucket is processed in ``(queue_key, seq)`` order — the
+          object engine's sorted-key service order, FIFO within a queue;
+        * continuing packets re-enter the calendar via one segmented
+          :meth:`_join` pass that consumes capacity slots per queue.
+        """
         self.cycle += 1
         chunks = self._buckets.pop(self.cycle, None)
         if not chunks:
@@ -489,10 +518,7 @@ class BatchEngine:
         straight over cycles where nothing is scheduled to move."""
         start = self.cycle
         while self._in_flight:
-            heap = self._bucket_heap
-            while heap and heap[0] not in self._buckets:
-                heapq.heappop(heap)  # already processed via step()
-            upcoming = heap[0]
+            upcoming = self.next_departure_cycle()
             if upcoming - start > max_cycles:
                 raise SimulationError(
                     f"simulation did not drain within {max_cycles} cycles"

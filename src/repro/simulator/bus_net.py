@@ -134,6 +134,7 @@ class BusNetworkSimulator:
 
     @property
     def in_flight(self) -> int:
+        """Packets currently queued on some bus."""
         return sum(len(q) for q in self._queues.values())
 
     def step(self) -> int:

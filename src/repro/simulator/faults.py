@@ -68,11 +68,14 @@ class FaultScenario:
     node_faults: list[tuple[int, int]] = field(default_factory=list)
 
     def schedule_into(self, q: EventQueue) -> None:
+        """Push every ``(cycle, node)`` fault onto an event queue as a
+        ``"node_fault"`` event (stable order within a cycle)."""
         for cycle, node in self.node_faults:
             q.schedule(cycle, "node_fault", node)
 
     @property
     def fault_count(self) -> int:
+        """Number of scheduled node faults."""
         return len(self.node_faults)
 
 
@@ -112,16 +115,31 @@ class ReconfigurationController:
         self.events = EventQueue()
         self.lost_to_faults = 0
         self.fault_log: list[tuple[int, int]] = []
+        #: bumped on every fault; route caches (the streaming driver's
+        #: pre-routed arrival calendar) re-lift through φ when it moves
+        self.routing_epoch = 0
         self._handlers = {"node_fault": self._on_fault}
 
     def schedule(self, scenario: FaultScenario) -> None:
+        """Add a :class:`FaultScenario`'s events to the controller's queue
+        (cumulative: scheduling twice fires every event twice)."""
         scenario.schedule_into(self.events)
+
+    def fire_due_events(self, cycle: int | None = None) -> int:
+        """Fire every scheduled event due at or before ``cycle`` (default:
+        the simulator's current cycle); returns the count fired.  The
+        workload drivers — :meth:`run_workload` and
+        :func:`repro.simulator.streaming.run_stream` — call this at the
+        top of every simulated cycle so faults land exactly on time."""
+        due = self.sim.cycle if cycle is None else int(cycle)
+        return self.events.run_handlers(due, self._handlers)
 
     def _on_fault(self, ev) -> None:
         node = int(ev.payload)
         self.rec.fail_node(node)
         self.lost_to_faults += self.sim.disable_node(node)
         self.fault_log.append((self.sim.cycle, node))
+        self.routing_epoch += 1
 
     def physical_router(self):
         """Current lifted router (closure over the live φ)."""
@@ -148,7 +166,7 @@ class ReconfigurationController:
     def _step_and_fire(self) -> None:
         """One cycle of simulated time, then any events that came due."""
         self.sim.step()
-        self.events.run_handlers(self.sim.cycle, self._handlers)
+        self.fire_due_events()
 
     def run_workload(self, batches: list[np.ndarray], *, cycles_per_batch: int = 0,
                      max_cycles: int = 1_000_000) -> RunStats:
@@ -180,7 +198,7 @@ class ReconfigurationController:
             if i and cycles_per_batch:
                 for _ in range(cycles_per_batch):
                     self._step_and_fire()
-            self.events.run_handlers(self.sim.cycle, self._handlers)
+            self.fire_due_events()
             self._inject(batch)
             start = self.sim.cycle
             while self.sim.in_flight:
@@ -189,8 +207,18 @@ class ReconfigurationController:
                         f"simulation did not drain within {max_cycles} cycles"
                     )
                 self._step_and_fire()
-        self.events.run_handlers(self.sim.cycle, self._handlers)
+        self.fire_due_events()
         return self.sim.stats()
+
+    def run_stream(self, source, **kwargs):
+        """Drive this controller open-loop from a
+        :class:`repro.simulator.sources.TrafficSource` — see
+        :func:`repro.simulator.streaming.run_stream` for the keyword
+        arguments (``cycles``, ``warmup``, ``window``) and the returned
+        :class:`repro.simulator.metrics.StreamStats`."""
+        from repro.simulator.streaming import run_stream
+
+        return run_stream(self, source, **kwargs)
 
     def _run_workload_sharded(self, batches: list[np.ndarray], *,
                               cycles_per_batch: int,
@@ -204,7 +232,7 @@ class ReconfigurationController:
         while i < n:
             if i and cycles_per_batch:
                 self.sim.cycle += cycles_per_batch  # idle gap, spent at once
-            self.events.run_handlers(self.sim.cycle, self._handlers)
+            self.fire_due_events()
             self._inject(batches[i])
             i += 1
             while i < n and not len(self.events):
@@ -213,7 +241,7 @@ class ReconfigurationController:
                 self._inject(batches[i])
                 i += 1
             self.sim.drain(max_cycles=max_cycles)
-        self.events.run_handlers(self.sim.cycle, self._handlers)
+        self.fire_due_events()
         return self.sim.stats()
 
 
@@ -235,10 +263,47 @@ class DetourController:
         self.sim = _make_engine(engine, self.target, link_capacity, workers)
         self.faults: set[int] = set()
         self.unreachable_pairs = 0
+        #: bumped on every fault, mirroring ReconfigurationController —
+        #: streaming route caches key on it
+        self.routing_epoch = 0
 
     def fail_node(self, node: int) -> None:
+        """Kill a physical node: survivors detour around it from now on;
+        packets already queued on its links drop."""
         self.faults.add(int(node))
         self.sim.disable_node(int(node))
+        self.routing_epoch += 1
+
+    def detour_routes_batch(
+        self, pairs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """BFS detour routes for a batch of (src, dst) pairs under the
+        current fault set.
+
+        Returns ``(flat, offsets, kept)``: the engines' shared flattened
+        route layout plus the indices of the pairs that are actually
+        routable.  Unreachable pairs (faulty endpoint or disconnected
+        survivors) are skipped and counted in ``unreachable_pairs`` —
+        the open-loop streaming driver injects only the kept rows."""
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        faults = sorted(self.faults)
+        routes: list[list[int]] = []
+        kept: list[int] = []
+        for i, (s, d) in enumerate(pairs):
+            try:
+                routes.append(detour_route(self.target, faults, int(s), int(d)))
+                kept.append(i)
+            except RoutingError:
+                self.unreachable_pairs += 1
+        flat, offsets = pack_routes(routes)
+        return flat, offsets, np.asarray(kept, dtype=np.int64)
+
+    def run_stream(self, source, **kwargs):
+        """Open-loop twin of :meth:`run_workload` — see
+        :func:`repro.simulator.streaming.run_stream`."""
+        from repro.simulator.streaming import run_stream
+
+        return run_stream(self, source, **kwargs)
 
     def run_workload(self, batches: list[np.ndarray], *,
                      max_cycles: int = 1_000_000) -> RunStats:
@@ -249,15 +314,7 @@ class DetourController:
         bit-identical to the sequential engines."""
         sharded = self.engine == "sharded"
         for batch in batches:
-            faults = sorted(self.faults)
-            routes: list[list[int]] = []
-            for s, d in batch:
-                s, d = int(s), int(d)
-                try:
-                    routes.append(detour_route(self.target, faults, s, d))
-                except RoutingError:
-                    self.unreachable_pairs += 1
-            flat, offsets = pack_routes(routes)
+            flat, offsets, _ = self.detour_routes_batch(batch)
             self.sim.inject_routes(flat, offsets, validate=False)
             if not sharded:
                 self.sim.run(max_cycles)

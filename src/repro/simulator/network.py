@@ -91,6 +91,8 @@ class NetworkSimulator:
 
     @property
     def dead_nodes(self) -> frozenset[int]:
+        """Nodes disabled so far (routes touching them are rejected at
+        injection and their queued packets were dropped)."""
         return frozenset(self._dead)
 
     def disable_link(self, u: int, v: int) -> int:
@@ -149,7 +151,13 @@ class NetworkSimulator:
         return pkt
 
     def inject_route(self, route: list[int], *, validate: bool = True) -> Packet:
-        """Inject one packet with an explicit physical route."""
+        """Inject one packet with an explicit physical route (a node
+        list; ``route[0]`` is the source, ``route[-1]`` the destination).
+
+        ``validate`` gates the edge-existence check; dead-node and
+        dead-link checks always run.  A single-node route is a degenerate
+        self-delivery at the current cycle.  Returns the live
+        :class:`Packet` record."""
         route = [int(v) for v in route]
         self._validate_route(route, validate)
         return self._commit_route(route)

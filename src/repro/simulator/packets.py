@@ -28,10 +28,12 @@ class Packet:
 
     @property
     def src(self) -> int:
+        """Source node (first entry of the fixed route)."""
         return self.route[0]
 
     @property
     def dst(self) -> int:
+        """Destination node (last entry of the fixed route)."""
         return self.route[-1]
 
     @property

@@ -435,7 +435,9 @@ class ScenarioGrid:
 
     Axes (in product order): ``mhk`` x ``patterns`` x ``loads`` x
     ``fault_sets`` x ``seeds``.  Scalars (``link_capacity``, ``batches``,
-    ``cycles_per_batch``, ``controller``, ``shards``) apply to every cell.
+    ``cycles_per_batch``, ``controller``, ``engine``, ``shards``) apply
+    to every cell; ``engine`` is recorded per row in published sweeps so
+    curves state what produced them.
 
     >>> grid = ScenarioGrid(mhk=[(2, 4, 1)], patterns=["uniform"],
     ...                     loads=[100], seeds=[0, 1])
@@ -452,6 +454,7 @@ class ScenarioGrid:
     batches: int = 1
     cycles_per_batch: int = 0
     controller: str = "reconfig"
+    engine: str = "batch"
     shards: int = 1
 
     def __post_init__(self):
@@ -491,6 +494,7 @@ class ScenarioGrid:
                     batches=self.batches,
                     cycles_per_batch=self.cycles_per_batch,
                     controller=self.controller,
+                    engine=self.engine,
                     shards=self.shards,
                 )
             )
@@ -508,6 +512,7 @@ class ScenarioGrid:
             "batches": self.batches,
             "cycles_per_batch": self.cycles_per_batch,
             "controller": self.controller,
+            "engine": self.engine,
             "shards": self.shards,
         }
 
@@ -588,6 +593,13 @@ class ShardDriver:
         self.workers = workers
         self.chunk_size = chunk_size
         self.start_method = start_method
+
+    def resolve_workers(self, n_tasks: int) -> int:
+        """The process count :meth:`map` would use for ``n_tasks`` tasks
+        (``None`` resolves to ``os.cpu_count()`` capped by the task
+        count; ``<= 1`` means inline).  Callers publishing results
+        record this so curves carry their provenance."""
+        return _resolve_workers(self.workers, n_tasks)
 
     def _context(self):
         import multiprocessing as mp
@@ -739,10 +751,14 @@ class GridResult:
 
     @property
     def aggregate(self) -> ShardStats:
+        """Exact cross-scenario reduction (mergeable form)."""
         return ShardStats.merge(r.stats for r in self.results)
 
     @property
     def aggregate_stats(self) -> RunStats:
+        """The :class:`RunStats` a single process running the whole grid
+        sequentially would have produced — bit-identical by the
+        :class:`ShardStats` contract."""
         return self.aggregate.to_run_stats()
 
     def rows(self) -> list[dict]:
@@ -757,6 +773,7 @@ class GridResult:
                 "faults": [list(f) for f in sc.faults],
                 "seed": sc.seed,
                 "controller": sc.controller,
+                "engine": sc.engine,
                 "cycles": st.cycles,
                 "delivered": st.delivered,
                 "dropped": st.dropped,
@@ -972,6 +989,7 @@ class ShardedEngine:
 
     @property
     def injected(self) -> int:
+        """Total packets recorded so far (pending shards included)."""
         return self._injected
 
     def drain(self, max_cycles: int = 1_000_000) -> int:
@@ -997,6 +1015,8 @@ class ShardedEngine:
         return 0
 
     def run(self, max_cycles: int = 1_000_000) -> RunStats:
+        """Drain everything pending and return the aggregate statistics
+        (the other engines' ``run`` contract)."""
         self.drain(max_cycles=max_cycles)
         return self.stats()
 

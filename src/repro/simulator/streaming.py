@@ -1,0 +1,542 @@
+"""Open-loop streaming simulation: sustained load, saturation curves.
+
+This module closes the loop between the arrival processes in
+:mod:`repro.simulator.sources` and the simulation engines: traffic is
+injected *per cycle* while earlier packets are still in flight, so the
+network is observed under sustained pressure instead of draining closed
+batches.  That unlocks the measurements the closed-loop drivers cannot
+express — delivered throughput vs offered load, queue growth past the
+saturation point, steady-state latency — which is how the dependability
+literature around the paper evaluates interconnects.
+
+Entry points
+------------
+:func:`run_stream`
+    Drive one fault controller open-loop from a seeded source for a
+    fixed horizon, with warmup/measurement-window accounting.  Also
+    reachable as ``controller.run_stream(source, ...)``.
+:class:`StreamScenario`
+    A pickle-by-value description of one streaming run (machine, source,
+    rate, faults, horizon) — the unit the multi-process plumbing ships
+    to workers.
+:func:`load_sweep`
+    Evaluate one scenario at many offered rates across a
+    :class:`repro.simulator.shard_driver.ShardDriver` worker pool.
+:func:`find_saturation`
+    Sweep a rate ladder, bracket the saturation point, and bisect it —
+    the producer of offered-load vs delivered-throughput curves (CLI:
+    ``python -m repro saturate``).
+
+How the hot path stays fast
+---------------------------
+The source's arrival calendar is structure-of-arrays: one sorted
+``times`` array plus one ``(total, 2)`` pairs array per horizon.  All
+routes are computed in one vectorized batch per *routing epoch* (the
+stretch between faults), so per-cycle injection is a slice of a
+pre-routed ``(flat, offsets)`` block handed straight to
+``inject_routes``.  On the :class:`~repro.simulator.batch_engine.BatchEngine`
+the driver never iterates idle cycles: it jumps the clock between
+arrival cycles, scheduled fault events, and the engine's own
+departure-slot calendar (:meth:`BatchEngine.next_departure_cycle`), so
+total work stays O(hops traversed + arrival groups), matching the
+closed-loop batch path.
+
+Exactness contract
+------------------
+For the same controller parameters and the same seeded source, the
+object and batch engines produce bit-identical packet records —
+identical delivery cycles, drop decisions, and fault logs.  The
+per-cycle reference order is: **fire due events, inject due arrivals,
+step** — and the batch driver's clock-jumping is constructed to be
+observationally identical to that loop (``tests/test_streaming.py``
+pins this with goldens).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError, SimulationError
+from repro.simulator.metrics import PacketArrays, StreamStats, stream_summary
+from repro.simulator.shard_driver import ShardDriver
+from repro.simulator.sources import SOURCE_NAMES, TrafficSource, make_source
+from repro.simulator.traffic import PATTERN_NAMES
+
+__all__ = [
+    "run_stream",
+    "StreamScenario",
+    "StreamPointResult",
+    "SaturationResult",
+    "load_sweep",
+    "find_saturation",
+]
+
+_I64 = np.int64
+
+_CONTROLLERS = ("reconfig", "detour")
+_STREAM_ENGINES = ("object", "batch")
+
+
+def _records_of(sim) -> PacketArrays:
+    if hasattr(sim, "packet_records"):
+        return sim.packet_records()
+    return PacketArrays.from_packets(sim.packets)
+
+
+def run_stream(
+    ctrl,
+    source: TrafficSource,
+    *,
+    cycles: int,
+    warmup: int = 0,
+    window: int = 0,
+) -> StreamStats:
+    """Drive a fault controller open-loop for ``cycles`` cycles.
+
+    Parameters
+    ----------
+    ctrl:
+        A :class:`~repro.simulator.faults.ReconfigurationController` or
+        :class:`~repro.simulator.faults.DetourController` with
+        ``engine="object"`` or ``engine="batch"`` (the sharded engine
+        drains in waves and cannot interleave per-cycle arrivals).
+    source:
+        The arrival process; ``source.n`` must match the controller's
+        logical node count.  The source is consulted once
+        (:meth:`~repro.simulator.sources.TrafficSource.schedule`), so
+        the whole run is a pure function of (controller state, source).
+    cycles:
+        Injection horizon.  The run simulates exactly this many cycles
+        and stops — in-flight traffic stays in flight (open loop), it is
+        *not* drained.
+    warmup:
+        Leading cycles excluded from the measured rates (transient
+        suppression).  Must satisfy ``0 <= warmup < cycles``.
+    window:
+        When > 0, attach a per-window
+        :class:`~repro.simulator.metrics.WindowSeries` at this
+        granularity.
+
+    Returns the run's :class:`~repro.simulator.metrics.StreamStats`.
+
+    Per-cycle semantics (the cross-engine contract): at each cycle the
+    controller first fires scheduled fault events due that cycle, then
+    injects that cycle's arrivals (routes lifted through the *current*
+    φ — a fault re-routes every not-yet-injected arrival), then the
+    engine steps one cycle.  Faults therefore take down the packets
+    queued in the failed router mid-stream, exactly as in
+    :meth:`~repro.simulator.faults.ReconfigurationController.run_workload`.
+    """
+    if cycles < 1:
+        raise ParameterError("run_stream needs cycles >= 1")
+    if not 0 <= warmup < cycles:
+        raise ParameterError("run_stream needs 0 <= warmup < cycles")
+    if getattr(ctrl, "engine", None) == "sharded":
+        raise SimulationError(
+            "run_stream requires engine='object' or 'batch': the sharded "
+            "engine drains whole waves and cannot interleave per-cycle "
+            "arrivals"
+        )
+    sim = ctrl.sim
+    target_n = ctrl.target.node_count
+    if source.n != target_n:
+        raise ParameterError(
+            f"source addresses n={source.n} nodes but the machine has "
+            f"{target_n} logical nodes"
+        )
+
+    t0 = int(sim.cycle)
+    rel_times, pairs = source.schedule(int(cycles))
+    times = rel_times + t0
+    is_reconfig = hasattr(ctrl, "physical_routes_batch")
+
+    unadmitted: list[np.ndarray] = []
+
+    def route_tail(i0: int):
+        """Route pairs[i0:] under the current fault state; returns the
+        kept packets' injection cycles plus their flattened routes.
+        Unroutable pairs (detour baseline) are recorded as unadmitted —
+        they still count as offered load in the summary."""
+        sub = pairs[i0:]
+        if is_reconfig:
+            flat, offsets = ctrl.physical_routes_batch(sub[:, 0], sub[:, 1])
+            return times[i0:], flat, offsets
+        flat, offsets, kept = ctrl.detour_routes_batch(sub)
+        keep_mask = np.zeros(sub.shape[0], dtype=bool)
+        keep_mask[kept] = True
+        unadmitted.append(times[i0:][~keep_mask])
+        return times[i0:][kept], flat, offsets
+
+    ktimes, flat, offsets = route_tail(0)
+    p = 0          # pointer into the routed tail (packets injected so far)
+    consumed = 0   # original pairs consumed (reconfig re-route base)
+    epoch = getattr(ctrl, "routing_epoch", 0)
+    events = getattr(ctrl, "events", None)
+    fast = hasattr(sim, "next_departure_cycle")
+    t_end = t0 + int(cycles)
+
+    t = t0
+    while t < t_end:
+        # 1. fire fault events due at t
+        if events is not None:
+            ctrl.fire_due_events(t)
+            if ctrl.routing_epoch != epoch:
+                epoch = ctrl.routing_epoch
+                ktimes, flat, offsets = route_tail(consumed)
+                p = 0
+        # 2. inject arrivals due at t (a pre-routed contiguous slice)
+        if p < ktimes.size and ktimes[p] == t:
+            q = int(np.searchsorted(ktimes, t, side="right"))
+            lo, hi = int(offsets[p]), int(offsets[q])
+            sim.inject_routes(
+                flat[lo:hi], offsets[p: q + 1] - lo, validate=is_reconfig
+            )
+            consumed += q - p
+            p = q
+        # 3. advance the clock
+        if fast:
+            visit = t_end
+            if p < ktimes.size:
+                visit = min(visit, int(ktimes[p]))
+            if events is not None:
+                ne = events.peek_cycle()
+                if ne is not None:
+                    visit = min(visit, ne)
+            while True:
+                b = sim.next_departure_cycle()
+                if b is None or b > visit:
+                    break
+                sim.cycle = b - 1
+                sim.step()
+            sim.cycle = visit
+            t = visit
+        else:
+            sim.step()
+            t += 1
+
+    return stream_summary(
+        _records_of(sim), start=t0, cycles=cycles, warmup=warmup,
+        window=window,
+        unadmitted_times=(
+            np.concatenate(unadmitted) if unadmitted else None
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# streamed scenarios: the multi-process unit of work
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StreamScenario:
+    """One self-contained open-loop run: everything a worker process
+    needs to rebuild and execute it (pure data — pickles by value).
+
+    The streamed twin of :class:`repro.simulator.shard_driver.Scenario`:
+    where that describes a closed batch drain, this describes a machine
+    plus an arrival process at a target ``rate`` over a fixed horizon.
+    :func:`load_sweep` and :func:`find_saturation` fan replicas with
+    different rates out across a
+    :class:`~repro.simulator.shard_driver.ShardDriver` pool.
+
+    ``faults`` are ``(cycle, node)`` pairs; the ``reconfig`` controller
+    fires them on the honest per-cycle timeline, the ``detour`` baseline
+    applies the nodes before any traffic (it has no event clock).
+    """
+
+    m: int
+    h: int
+    k: int = 1
+    rate: float = 1.0
+    source: str = "poisson"
+    pattern: str = "uniform"
+    cycles: int = 2000
+    warmup: int = 200
+    window: int = 0
+    faults: tuple[tuple[int, int], ...] = ()
+    seed: int = 0
+    link_capacity: int = 1
+    controller: str = "reconfig"
+    engine: str = "batch"
+    mean_on: float = 20.0
+    mean_off: float = 20.0
+
+    def __post_init__(self):
+        if self.source not in SOURCE_NAMES:
+            raise ParameterError(
+                f"unknown source {self.source!r}; expected one of {SOURCE_NAMES}"
+            )
+        if self.pattern not in PATTERN_NAMES:
+            raise ParameterError(
+                f"unknown traffic pattern {self.pattern!r}; "
+                f"expected one of {PATTERN_NAMES}"
+            )
+        if self.controller not in _CONTROLLERS:
+            raise ParameterError(
+                f"unknown controller {self.controller!r}; "
+                f"expected one of {_CONTROLLERS}"
+            )
+        if self.engine not in _STREAM_ENGINES:
+            raise ParameterError(
+                f"StreamScenario.engine must be one of {_STREAM_ENGINES}, "
+                f"got {self.engine!r} (streaming interleaves per-cycle "
+                f"arrivals; the sharded engine cannot)"
+            )
+        if not self.rate > 0:
+            raise ParameterError("rate must be > 0")
+        if not 0 <= self.warmup < self.cycles:
+            raise ParameterError("need 0 <= warmup < cycles")
+        object.__setattr__(
+            self, "faults", tuple((int(c), int(v)) for c, v in self.faults)
+        )
+        if self.controller == "reconfig" and len(self.faults) > self.k:
+            raise ParameterError(
+                f"scenario schedules {len(self.faults)} faults but "
+                f"B^{self.k}_{{{self.m},{self.h}}} has only {self.k} spares"
+            )
+
+    @property
+    def label(self) -> str:
+        parts = [
+            f"B^{self.k}_{{{self.m},{self.h}}}",
+            f"{self.source}({self.rate:g}/cy)",
+            self.pattern,
+        ]
+        if self.faults:
+            parts.append(f"{len(self.faults)}flt")
+        if self.controller != "reconfig":
+            parts.append(self.controller)
+        return " ".join(parts)
+
+    def with_rate(self, rate: float) -> "StreamScenario":
+        """A copy at a different offered rate (the load-sweep axis)."""
+        return replace(self, rate=float(rate))
+
+    def build_source(self) -> TrafficSource:
+        """The scenario's arrival process — deterministic in ``seed``."""
+        return make_source(
+            self.source, self.m ** self.h, self.rate,
+            pattern=self.pattern, seed=self.seed,
+            mean_on=self.mean_on, mean_off=self.mean_off,
+        )
+
+    def build_controller(self):
+        """Fresh controller with this scenario's faults wired in."""
+        from repro.simulator.faults import (
+            DetourController,
+            FaultScenario,
+            ReconfigurationController,
+        )
+
+        if self.controller == "detour":
+            ctrl = DetourController(
+                self.m, self.h, engine=self.engine,
+                link_capacity=self.link_capacity,
+            )
+            for _, node in self.faults:
+                ctrl.fail_node(node)
+            return ctrl
+        ctrl = ReconfigurationController(
+            self.m, self.h, self.k, engine=self.engine,
+            link_capacity=self.link_capacity,
+        )
+        if self.faults:
+            ctrl.schedule(FaultScenario(list(self.faults)))
+        return ctrl
+
+    def run(self) -> "StreamPointResult":
+        """Execute in the current process; workers call this."""
+        ctrl = self.build_controller()
+        src = self.build_source()
+        t0 = time.perf_counter()
+        stats = run_stream(
+            ctrl, src, cycles=self.cycles, warmup=self.warmup,
+            window=self.window,
+        )
+        return StreamPointResult(
+            scenario=self,
+            stats=stats,
+            seconds=time.perf_counter() - t0,
+            lost_to_faults=getattr(ctrl, "lost_to_faults", 0),
+            unreachable_pairs=getattr(ctrl, "unreachable_pairs", 0),
+        )
+
+
+@dataclass(frozen=True)
+class StreamPointResult:
+    """One evaluated point of a load sweep."""
+
+    scenario: StreamScenario
+    stats: StreamStats
+    seconds: float
+    lost_to_faults: int = 0
+    unreachable_pairs: int = 0
+
+    def stable(self, threshold: float) -> bool:
+        """Is the point below saturation? — delivered keeps up with
+        offered (``delivery_ratio >= threshold``)."""
+        return self.stats.delivery_ratio >= threshold
+
+    def row(self) -> dict:
+        """JSON-friendly summary row (CLI tables, report artifacts)."""
+        s = self.stats
+        return {
+            "rate": self.scenario.rate,
+            "offered_rate": round(s.offered_rate, 4),
+            "delivered_rate": round(s.delivered_rate, 4),
+            "delivery_ratio": round(s.delivery_ratio, 4),
+            "mean_latency": round(s.mean_latency, 4),
+            "p95_latency": round(s.p95_latency, 4),
+            "backlog": s.final_occupancy,
+            "dropped": s.dropped,
+            "unadmitted": s.unadmitted,
+            "seconds": round(self.seconds, 4),
+        }
+
+
+def _run_stream_point(sc: StreamScenario) -> StreamPointResult:
+    """Module-level worker entry point (must be picklable by name)."""
+    return sc.run()
+
+
+def load_sweep(
+    base: StreamScenario,
+    rates,
+    *,
+    workers: int | None = None,
+    driver: ShardDriver | None = None,
+) -> list[StreamPointResult]:
+    """Evaluate ``base`` at every offered rate in ``rates``.
+
+    Points are independent simulations, so they fan out across a
+    :class:`~repro.simulator.shard_driver.ShardDriver` worker pool
+    (``workers=0`` runs inline — results are identical either way).
+    Returns one :class:`StreamPointResult` per rate, in input order.
+    """
+    scenarios = [base.with_rate(float(r)) for r in rates]
+    drv = driver or ShardDriver(workers=workers)
+    return drv.map(_run_stream_point, scenarios)
+
+
+# ---------------------------------------------------------------------------
+# saturation search
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SaturationResult:
+    """Outcome of :func:`find_saturation` for one machine/fault scenario.
+
+    ``saturation_rate`` is the estimated maximum *stable* offered load in
+    packets per cycle: the midpoint of the final bisection bracket
+    ``[stable_rate, unstable_rate]``.  The bracket anchors on the ladder's
+    *first* threshold crossing, so ``stable_rate < unstable_rate`` always
+    holds when ``bracketed`` — a noisy stable rung above the first
+    unstable one does not widen it.  ``bracketed`` is False in exactly
+    two shapes: every ladder rung stable (``unstable_rate = inf``; the
+    estimate is a lower bound) or no stable rung below the first unstable
+    one (``stable_rate = 0``; upper bound).  ``points`` holds every
+    evaluated point, sorted by offered rate — the curve to plot.
+    ``workers`` records the pool size the ladder phase resolved to
+    (bisection probes run inline), so published curves carry their
+    provenance.
+    """
+
+    saturation_rate: float
+    stable_rate: float
+    unstable_rate: float
+    threshold: float
+    bracketed: bool
+    points: tuple[StreamPointResult, ...]
+    workers: int = 0
+
+    def curve(self) -> list[dict]:
+        """The offered-load vs delivered-throughput curve as rows."""
+        return [p.row() for p in self.points]
+
+
+def _bracket_first_crossing(
+    ladder: Sequence[StreamPointResult], threshold: float
+) -> tuple[float, float, bool, float]:
+    """Bracket the saturation point on a rate-sorted ladder.
+
+    Returns ``(lo, hi, bracketed, saturation)`` anchored on the ladder's
+    first unstable rung: ``lo`` is the highest stable rate *below* it
+    (noisy stable rungs above the crossing are ignored), ``hi`` the
+    first unstable rate.  When the ladder never crosses the threshold —
+    all stable, or unstable from the first rung — ``bracketed`` is False
+    and ``saturation`` is the corresponding lower/upper bound.
+    """
+    first_unstable = next(
+        (p for p in ladder if not p.stable(threshold)), None
+    )
+    if first_unstable is None:
+        lo = ladder[-1].scenario.rate
+        return lo, float("inf"), False, lo  # never saturated: lower bound
+    hi = first_unstable.scenario.rate
+    stable_below = [
+        p.scenario.rate
+        for p in ladder
+        if p.scenario.rate < hi and p.stable(threshold)
+    ]
+    if not stable_below:
+        return 0.0, hi, False, hi  # saturated from the start: upper bound
+    return max(stable_below), hi, True, 0.5 * (max(stable_below) + hi)
+
+
+def find_saturation(
+    base: StreamScenario,
+    rates,
+    *,
+    bisect: int = 5,
+    threshold: float = 0.95,
+    workers: int | None = None,
+    driver: ShardDriver | None = None,
+) -> SaturationResult:
+    """Locate the saturation point of one machine/fault scenario.
+
+    Phase 1 evaluates the ``rates`` ladder in parallel (the coarse
+    curve).  Phase 2 brackets the ladder's *first* threshold crossing
+    (see :func:`_bracket_first_crossing`) and bisects it ``bisect``
+    times (sequential — each probe informs the next).  A point is
+    *stable* when its measurement-window delivery ratio is at least
+    ``threshold``; past saturation the open-loop backlog grows without
+    bound and the ratio collapses, so the indicator is sharp.
+
+    Returns a :class:`SaturationResult`; all evaluated points (ladder +
+    bisection probes) appear in ``points``.
+    """
+    if not 0 < threshold <= 1:
+        raise ParameterError("threshold must be in (0, 1]")
+    rates = sorted(float(r) for r in rates)
+    if not rates:
+        raise ParameterError("find_saturation needs at least one rate")
+    drv = driver or ShardDriver(workers=workers)
+    resolved_workers = drv.resolve_workers(len(rates))
+    points = list(load_sweep(base, rates, driver=drv))
+
+    lo, hi, bracketed, saturation = _bracket_first_crossing(points, threshold)
+    if bracketed:
+        for _ in range(max(0, int(bisect))):
+            mid = 0.5 * (lo + hi)
+            point = base.with_rate(mid).run()
+            points.append(point)
+            if point.stable(threshold):
+                lo = mid
+            else:
+                hi = mid
+        saturation = 0.5 * (lo + hi)
+
+    points.sort(key=lambda p: p.scenario.rate)
+    return SaturationResult(
+        saturation_rate=float(saturation),
+        stable_rate=float(lo),
+        unstable_rate=float(hi),
+        threshold=float(threshold),
+        bracketed=bracketed,
+        points=tuple(points),
+        workers=resolved_workers,
+    )

@@ -98,6 +98,11 @@ class TestSweep:
         payload = json.loads(out.read_text())
         assert len(payload["scenarios"]) == 8
         assert payload["aggregate"]["injected"] == 8 * 150
+        # published curves must record what produced them
+        assert payload["engine"] == "batch"
+        assert payload["grid"]["engine"] == "batch"
+        assert payload["workers"] == 0
+        assert all(r["engine"] == "batch" for r in payload["scenarios"])
 
     def test_sweep_multiprocess(self, capsys):
         assert main([
@@ -112,6 +117,41 @@ class TestSweep:
 
     def test_sweep_bad_fault_set(self, capsys):
         assert main(["sweep", "--mhk", "2,4,1", "--fault-set", "xx"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSaturate:
+    def test_curve_and_saturation_point(self, capsys, tmp_path):
+        out = tmp_path / "sat.json"
+        assert main([
+            "saturate", "--mhk", "2,4,1", "--cycles", "300",
+            "--rates", "1,4,16", "--bisect", "2",
+            "--fault-set", "", "--fault-set", "0:5",
+            "--workers", "0", "--json", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "fault-free" in text and "faults [(0, 5)]" in text
+        assert "saturation ~" in text
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["engine"] == "batch" and payload["workers"] == 0
+        assert len(payload["curves"]) == 2
+        for curve in payload["curves"]:
+            assert curve["bracketed"]
+            rates = [p["rate"] for p in curve["points"]]
+            assert rates == sorted(rates) and len(rates) >= 5
+
+    def test_detour_controller(self, capsys):
+        assert main([
+            "saturate", "--mhk", "2,4,1", "--cycles", "200",
+            "--rates", "0.5", "--bisect", "0", "--controller", "detour",
+            "--fault-set", "0:5", "--workers", "0",
+        ]) == 0
+        assert "unadmitted" in capsys.readouterr().out
+
+    def test_bad_mhk(self, capsys):
+        assert main(["saturate", "--mhk", "nope"]) == 1
         assert "error" in capsys.readouterr().err
 
 

@@ -1,0 +1,59 @@
+"""The docs tree: required pages exist, links and anchors resolve.
+
+Runs the same check the CI docs job runs, so broken docs fail tier-1
+locally instead of only on GitHub.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import check_docs_links  # noqa: E402
+
+
+REQUIRED_PAGES = [
+    "architecture.md",
+    "engines.md",
+    "traffic-and-sweeps.md",
+    "faults-and-detours.md",
+]
+
+
+def test_required_pages_exist():
+    for name in REQUIRED_PAGES:
+        page = ROOT / "docs" / name
+        assert page.exists(), f"docs/{name} is missing"
+        assert page.read_text().startswith("#"), f"docs/{name} has no title"
+
+
+def test_repo_docs_links_resolve(capsys):
+    assert check_docs_links.main([]) == 0
+    assert "0 broken" in capsys.readouterr().out
+
+
+def test_readme_links_into_docs():
+    links = [t for _, t in check_docs_links.iter_links(ROOT / "README.md")]
+    assert any(t.startswith("docs/") for t in links), (
+        "README must link back into docs/"
+    )
+
+
+def test_checker_catches_breakage(tmp_path, capsys):
+    bad = tmp_path / "bad.md"
+    bad.write_text("# Title\n\n[x](#nope)\n[y](gone.md)\n")
+    assert check_docs_links.main([str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert "broken anchor" in err and "broken link" in err
+
+
+def test_slugification_matches_github():
+    s = check_docs_links.github_slug
+    assert s("The exactness contract") == "the-exactness-contract"
+    assert s("Scenario sweeps (`sweep`)") == "scenario-sweeps-sweep"
+    assert s("How it works: departure slots are exact") == (
+        "how-it-works-departure-slots-are-exact"
+    )

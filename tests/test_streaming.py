@@ -1,0 +1,234 @@
+"""Open-loop streaming: cross-engine goldens, window accounting,
+saturation detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.simulator import (
+    DetourController,
+    FaultScenario,
+    PacketArrays,
+    PoissonSource,
+    ReconfigurationController,
+    StreamScenario,
+    TraceSource,
+    find_saturation,
+    load_sweep,
+    run_stream,
+)
+
+
+def _records(ctrl) -> PacketArrays:
+    sim = ctrl.sim
+    if hasattr(sim, "packet_records"):
+        return sim.packet_records()
+    return PacketArrays.from_packets(sim.packets)
+
+
+def _stream(engine, faults=(), *, controller="reconfig", rate=2.0,
+            cycles=300, warmup=50, window=50, capacity=1):
+    if controller == "detour":
+        ctrl = DetourController(2, 5, engine=engine, link_capacity=capacity)
+        for _, node in faults:
+            ctrl.fail_node(node)
+    else:
+        ctrl = ReconfigurationController(
+            2, 5, 2, engine=engine, link_capacity=capacity
+        )
+        if faults:
+            ctrl.schedule(FaultScenario(list(faults)))
+    src = PoissonSource(32, rate, seed=3)
+    stats = run_stream(ctrl, src, cycles=cycles, warmup=warmup, window=window)
+    return ctrl, stats
+
+
+class TestGoldenEquivalence:
+    """Object and batch engines must agree packet-for-packet on the same
+    seeded streaming workload — the tentpole's exactness contract."""
+
+    @pytest.mark.parametrize("faults", [(), ((50, 9),), ((40, 3), (120, 17))])
+    def test_bit_identical_records(self, faults):
+        co, so = _stream("object", faults)
+        cb, sb = _stream("batch", faults)
+        po, pb = _records(co), _records(cb)
+        assert np.array_equal(po.injected_at, pb.injected_at)
+        assert np.array_equal(po.delivered_at, pb.delivered_at)
+        assert np.array_equal(po.hops, pb.hops)
+        assert np.array_equal(po.dropped, pb.dropped)
+        assert co.fault_log == cb.fault_log
+        assert so == sb  # StreamStats incl. the full window series
+
+    def test_identical_under_capacity(self):
+        _, so = _stream("object", capacity=2, rate=6.0)
+        _, sb = _stream("batch", capacity=2, rate=6.0)
+        assert so == sb
+
+    def test_detour_streaming_identical(self):
+        co, so = _stream("object", ((0, 3),), controller="detour", rate=1.0)
+        cb, sb = _stream("batch", ((0, 3),), controller="detour", rate=1.0)
+        assert so == sb
+        assert co.unreachable_pairs == cb.unreachable_pairs > 0
+        assert so.unadmitted == co.unreachable_pairs
+
+    def test_mid_stream_fault_drops_queued_packets(self):
+        """A fault mid-stream must take down in-flight traffic and
+        reroute everything injected afterwards."""
+        ctrl, stats = _stream("batch", ((60, 9),), rate=4.0)
+        assert ctrl.fault_log == [(60, 9)]
+        assert stats.totals.dropped == ctrl.lost_to_faults > 0
+
+
+class TestWindowAccounting:
+    def test_series_sums_match_totals(self):
+        ctrl, stats = _stream("batch", rate=3.0, cycles=400, window=40)
+        w = stats.windows
+        assert len(w) == 10
+        rec = _records(ctrl)
+        assert int(w.injected.sum()) == rec.injected_at.size
+        delivered_total = int(
+            np.count_nonzero(
+                (rec.delivered_at >= 0) & (rec.delivered_at <= 400)
+            )
+        )
+        assert int(w.delivered.sum()) == delivered_total
+
+    def test_occupancy_final_window_matches(self):
+        _, stats = _stream("batch", rate=3.0, cycles=400, window=40)
+        assert stats.windows.occupancy[-1] == stats.final_occupancy
+        assert stats.peak_occupancy >= stats.final_occupancy
+
+    def test_offered_rate_tracks_source(self):
+        _, stats = _stream("batch", rate=2.0, cycles=600, warmup=100)
+        assert stats.offered_rate == pytest.approx(2.0, rel=0.2)
+        assert 0.9 <= stats.delivery_ratio <= 1.1
+
+    def test_trace_source_exact_latency(self):
+        """One lonely packet on an idle machine: latency == hops."""
+        ctrl = ReconfigurationController(2, 5, 1, engine="batch")
+        src = TraceSource(32, np.array([10]), np.array([[0, 31]]))
+        stats = run_stream(ctrl, src, cycles=50)
+        assert stats.delivered == 1
+        rec = _records(ctrl)
+        assert rec.delivered_at[0] - rec.injected_at[0] == rec.hops[0]
+
+
+class TestValidation:
+    def test_sharded_engine_rejected(self):
+        ctrl = ReconfigurationController(2, 5, 1, engine="sharded", workers=0)
+        with pytest.raises(SimulationError, match="sharded"):
+            run_stream(ctrl, PoissonSource(32, 1.0), cycles=10)
+
+    def test_source_size_mismatch(self):
+        ctrl = ReconfigurationController(2, 5, 1, engine="batch")
+        with pytest.raises(ParameterError, match="logical nodes"):
+            run_stream(ctrl, PoissonSource(16, 1.0), cycles=10)
+
+    def test_warmup_bounds(self):
+        ctrl = ReconfigurationController(2, 5, 1, engine="batch")
+        with pytest.raises(ParameterError):
+            run_stream(ctrl, PoissonSource(32, 1.0), cycles=10, warmup=10)
+
+    def test_scenario_validates(self):
+        with pytest.raises(ParameterError):
+            StreamScenario(m=2, h=4, k=1, faults=((0, 1), (0, 2)))
+        with pytest.raises(ParameterError):
+            StreamScenario(m=2, h=4, source="nope")
+        with pytest.raises(ParameterError):
+            StreamScenario(m=2, h=4, engine="sharded")
+
+
+class TestSaturation:
+    """Saturation-curve smoke test on a tiny machine with one fault."""
+
+    BASE = StreamScenario(m=2, h=4, k=1, cycles=400, warmup=80,
+                          faults=((0, 5),), seed=0)
+
+    def test_low_rate_is_stable_high_rate_is_not(self):
+        points = load_sweep(self.BASE, [0.5, 16.0], workers=0)
+        assert points[0].stable(0.95)
+        assert not points[1].stable(0.95)
+        # past saturation the backlog explodes
+        assert (points[1].stats.final_occupancy
+                > 10 * points[0].stats.final_occupancy)
+
+    def test_find_saturation_brackets_the_knee(self):
+        res = find_saturation(
+            self.BASE, [1, 2, 4, 8, 16], bisect=3, workers=0
+        )
+        assert res.bracketed
+        assert res.stable_rate <= res.saturation_rate <= res.unstable_rate
+        assert 1.0 < res.saturation_rate < 16.0
+        # curve rows are sorted by rate and carry the documented fields
+        curve = res.curve()
+        rates = [row["rate"] for row in curve]
+        assert rates == sorted(rates)
+        assert {"offered_rate", "delivered_rate", "delivery_ratio",
+                "backlog"} <= set(curve[0])
+
+    def test_delivered_throughput_monotone_below_saturation(self):
+        res = find_saturation(self.BASE, [1, 2, 4], bisect=0, workers=0)
+        ladder = [p.stats.delivered_rate for p in res.points]
+        assert ladder == sorted(ladder)
+
+    def test_deterministic_across_runs(self):
+        a = self.BASE.run().stats
+        b = self.BASE.run().stats
+        assert a == b
+
+    def test_sweep_parallel_matches_inline(self):
+        """The shard-driver plumbing must not change any number."""
+        inline = load_sweep(self.BASE, [1.0, 4.0], workers=0)
+        pooled = load_sweep(self.BASE, [1.0, 4.0], workers=2)
+        for a, b in zip(inline, pooled):
+            assert a.stats == b.stats
+
+    def test_result_records_workers(self):
+        res = find_saturation(self.BASE, [1.0, 16.0], bisect=0, workers=0)
+        assert res.workers == 0
+
+
+class TestBracketing:
+    """First-crossing bracket logic on synthetic ladders (pure, no sim)."""
+
+    class _P:
+        def __init__(self, rate, ratio):
+            from types import SimpleNamespace
+
+            self.scenario = SimpleNamespace(rate=rate)
+            self._ratio = ratio
+
+        def stable(self, threshold):
+            return self._ratio >= threshold
+
+    def _bracket(self, ratios):
+        from repro.simulator.streaming import _bracket_first_crossing
+
+        ladder = [self._P(r, q) for r, q in ratios]
+        return _bracket_first_crossing(ladder, 0.95)
+
+    def test_clean_crossing(self):
+        lo, hi, ok, sat = self._bracket(
+            [(1, 1.0), (2, 0.99), (4, 0.90), (8, 0.5)]
+        )
+        assert (lo, hi, ok) == (2, 4, True)
+        assert sat == 3.0
+
+    def test_noisy_stable_rung_above_crossing_does_not_widen(self):
+        """A stable point past the first unstable one (threshold noise)
+        must not produce stable_rate > unstable_rate."""
+        lo, hi, ok, sat = self._bracket(
+            [(4, 1.0), (8, 0.94), (10, 0.96), (16, 0.5)]
+        )
+        assert (lo, hi, ok) == (4, 8, True)
+        assert lo < hi
+
+    def test_all_stable_is_lower_bound(self):
+        lo, hi, ok, sat = self._bracket([(1, 1.0), (2, 0.99)])
+        assert not ok and hi == float("inf") and sat == lo == 2
+
+    def test_all_unstable_is_upper_bound(self):
+        lo, hi, ok, sat = self._bracket([(1, 0.5), (2, 0.4)])
+        assert not ok and lo == 0.0 and sat == hi == 1

@@ -67,7 +67,8 @@ class TestReportRegistry:
         ids = all_experiment_ids()
         assert "FIG1" in ids and "TAB1" in ids and "REL" in ids
         assert "DIL" in ids and "SEALG" in ids and "SWEEP" in ids
-        assert len(ids) == 22
+        assert "SAT" in ids
+        assert len(ids) == 23
 
     @pytest.mark.parametrize(
         "exp_id", ["FIG1", "FIG2", "FIG4", "TAB2", "COR14", "BUSDEG", "REL", "SENAT"]

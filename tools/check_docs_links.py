@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Link and anchor checker for the repo's Markdown docs.
+
+Scans ``docs/*.md`` and ``README.md`` for Markdown links and verifies:
+
+* relative file targets exist (links into the tree — ``docs/...``,
+  ``src/...``, sibling pages);
+* ``#anchor`` fragments resolve to a heading in the target file, using
+  GitHub's slugification (lowercase, punctuation stripped, spaces to
+  hyphens);
+* intra-page anchors (``[x](#section)``) resolve too.
+
+External ``http(s)`` / ``mailto`` links are skipped (CI must not depend
+on the network).  Exits nonzero listing every broken link, so the CI
+docs job can gate on it.
+
+Usage::
+
+    python tools/check_docs_links.py [files...]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) — but not images' inner parens or reference-style links
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def _rel(path: pathlib.Path) -> str:
+    """Repo-relative display path (absolute when outside the repo)."""
+    try:
+        return str(path.relative_to(ROOT))
+    except ValueError:
+        return str(path)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slugification (the common subset:
+    lowercase, drop everything but word chars/spaces/hyphens, spaces to
+    hyphens).  Inline code spans contribute their text."""
+    text = heading.strip().lower().replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: pathlib.Path) -> set[str]:
+    """All anchor slugs a Markdown file defines (code fences skipped;
+    GitHub deduplicates repeats with -1, -2, ... suffixes)."""
+    slugs: dict[str, int] = {}
+    out: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def iter_links(path: pathlib.Path):
+    """Yield (line_number, target) for every Markdown link, skipping
+    fenced code blocks (shell snippets contain fake ``[x](y)``)."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in _LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """All broken-link complaints for one Markdown file."""
+    problems = []
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            dest = (path.parent / file_part).resolve()
+            if not dest.exists():
+                problems.append(
+                    f"{_rel(path)}:{lineno}: broken link "
+                    f"{target!r} (no such file {file_part!r})"
+                )
+                continue
+        else:
+            dest = path
+        if anchor:
+            if dest.suffix.lower() != ".md":
+                continue  # anchors into non-Markdown files: not checkable
+            if anchor not in heading_slugs(dest):
+                problems.append(
+                    f"{_rel(path)}:{lineno}: broken anchor "
+                    f"{target!r} (no heading slug {anchor!r} in "
+                    f"{_rel(dest)})"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if args:
+        files = [pathlib.Path(a).resolve() for a in args]
+    else:
+        files = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}", file=sys.stderr)
+        return 2
+    problems = []
+    for f in files:
+        problems.extend(check_file(f))
+    for p in problems:
+        print(p, file=sys.stderr)
+    checked = sum(1 for f in files for _ in iter_links(f))
+    print(f"checked {checked} links across {len(files)} files: "
+          f"{len(problems)} broken")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
