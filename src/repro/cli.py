@@ -229,6 +229,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cycles_per_batch=args.cycles_per_batch,
         controller=args.controller,
         engine=args.engine,
+        route_mode=args.route_mode,
         shards=args.shards,
     )
     print(f"scenario grid: {len(grid)} scenarios "
@@ -263,6 +264,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         payload = {
             "grid": grid.to_dict(),
             "engine": grid.engine,
+            "route_mode": grid.route_mode,
             "workers": result.workers,
             "seconds": round(result.seconds, 4),
             "scenarios": rows,
@@ -309,6 +311,7 @@ def _cmd_saturate(args: argparse.Namespace) -> int:
             cycles=args.cycles, warmup=warmup, window=window,
             faults=fs, seed=args.seed, link_capacity=args.capacity,
             controller=args.controller, engine=args.engine,
+            route_mode=args.route_mode,
         )
         res = find_saturation(
             base, rates, bisect=args.bisect, threshold=args.threshold,
@@ -342,6 +345,7 @@ def _cmd_saturate(args: argparse.Namespace) -> int:
             # (the pool size the ladder actually resolved to; bisection
             # probes always run inline)
             "engine": args.engine,
+            "route_mode": args.route_mode,
             "workers": curves[0][1].workers,
             "threshold": args.threshold,
             "rates": rates,
@@ -460,6 +464,11 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--engine", choices=["object", "batch"], default="batch",
                     help="simulation engine per scenario (recorded in the "
                     "JSON so published curves are reproducible)")
+    sw.add_argument("--route-mode", choices=["bfs", "table"], default="bfs",
+                    help="detour-baseline routing backend: per-pair BFS "
+                    "(reference) or a table compiled once per fault epoch "
+                    "(vectorized; conformance-tested hop-equivalent); "
+                    "ignored by --controller reconfig")
     sw.add_argument("--shards", type=int, default=1,
                     help="split each scenario's batches over this many tasks")
     sw.add_argument("--workers", type=int, default=None,
@@ -517,6 +526,8 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--controller", choices=["reconfig", "detour"],
                     default="reconfig")
     st.add_argument("--engine", choices=["object", "batch"], default="batch")
+    st.add_argument("--route-mode", choices=["bfs", "table"], default="bfs",
+                    help="detour-baseline routing backend (see sweep)")
     st.add_argument("--seed", type=int, default=0)
     st.add_argument("--workers", type=int, default=None,
                     help="worker processes for the ladder phase "

@@ -35,10 +35,13 @@ from repro.routing.shortest_path import (
     shortest_path,
 )
 from repro.routing.tables import (
+    UNREACHABLE,
     RouteTable,
     compile_routing_table,
     table_path,
+    table_reachable,
     table_routes_batch,
+    table_routes_batch_masked,
     validate_routing_table,
 )
 from repro.routing.fault_routing import (
@@ -46,6 +49,7 @@ from repro.routing.fault_routing import (
     detour_route,
     lifted_routes_batch,
     survivor_graph,
+    survivor_route_table,
 )
 
 __all__ = [
@@ -59,13 +63,17 @@ __all__ = [
     "extract_path",
     "shortest_path",
     "eccentricity",
+    "UNREACHABLE",
     "RouteTable",
     "compile_routing_table",
     "table_path",
+    "table_reachable",
     "table_routes_batch",
+    "table_routes_batch_masked",
     "validate_routing_table",
     "ReconfiguredRouter",
     "detour_route",
     "lifted_routes_batch",
     "survivor_graph",
+    "survivor_route_table",
 ]

@@ -36,6 +36,7 @@ __all__ = [
     "detour_route",
     "lifted_routes_batch",
     "survivor_graph",
+    "survivor_route_table",
 ]
 
 
@@ -130,6 +131,49 @@ class ReconfiguredRouter:
 def survivor_graph(g: StaticGraph, faults) -> tuple[StaticGraph, np.ndarray]:
     """The induced subgraph on non-faulty nodes plus the kept-id array."""
     return g.without_nodes(np.asarray(list(faults), dtype=np.int64))
+
+
+def survivor_route_table(g: StaticGraph, faults) -> "RouteTable":
+    """Compile a detour :class:`~repro.routing.tables.RouteTable` for the
+    survivor graph of ``g`` under ``faults``, in *original* node ids.
+
+    The table keeps all ``n`` rows/columns (so batch extraction needs no
+    id remapping) but is compiled on the graph with every fault-incident
+    edge removed: a faulty or disconnected endpoint simply yields the
+    :data:`~repro.routing.tables.UNREACHABLE` sentinel — including a
+    faulty node's *diagonal*, so ``table_reachable`` refuses even the
+    trivial self-route to a dead endpoint.  Routes are
+    hop-optimal in the survivor graph — the same lengths
+    :func:`detour_route`'s per-pair BFS produces, though tie-breaking
+    between equal-length paths may differ (the conformance suite pins
+    hop-count + validity equivalence, not path equality).
+
+    This is the compile-once artifact
+    :class:`repro.simulator.faults.DetourController` caches per fault
+    epoch when ``route_mode="table"``.
+    """
+    from repro.routing.tables import (
+        UNREACHABLE,
+        RouteTable,
+        compile_routing_table,
+    )
+
+    fset = {int(v) for v in faults}
+    if not fset:
+        return RouteTable.compile(g)
+    bad = [v for v in fset if not 0 <= v < g.node_count]
+    if bad:
+        raise RoutingError(
+            f"fault node {bad[0]} out of range [0, {g.node_count})"
+        )
+    e = g.edges()
+    dead = np.array(sorted(fset), dtype=np.int64)
+    alive = np.ones(g.node_count, dtype=bool)
+    alive[dead] = False
+    sel = alive[e[:, 0]] & alive[e[:, 1]] if e.shape[0] else np.zeros(0, bool)
+    table = compile_routing_table(StaticGraph(g.node_count, e[sel]))
+    table[dead, dead] = UNREACHABLE  # no self-route to a dead endpoint
+    return RouteTable(table)
 
 
 def detour_route(g: StaticGraph, faults, src: int, dst: int) -> list[int]:

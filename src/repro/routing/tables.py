@@ -24,12 +24,22 @@ from repro.graphs.static_graph import StaticGraph
 from repro.routing.shortest_path import bfs_parents
 
 __all__ = [
+    "UNREACHABLE",
     "RouteTable",
     "compile_routing_table",
+    "table_reachable",
     "table_routes_batch",
+    "table_routes_batch_masked",
     "validate_routing_table",
     "table_path",
 ]
+
+#: Next-hop sentinel for pairs the compiled graph cannot connect.  A
+#: table compiled from a disconnected survivor graph is still well
+#: defined: every entry is either a real neighbor or exactly this value,
+#: and the batch extractors either raise (:func:`table_routes_batch`) or
+#: skip-and-report (:func:`table_routes_batch_masked`) — never follow it.
+UNREACHABLE = -1
 
 
 def compile_routing_table(g: StaticGraph) -> np.ndarray:
@@ -39,13 +49,39 @@ def compile_routing_table(g: StaticGraph) -> np.ndarray:
     ``d`` *is* the hop-optimal next hop (the graph is undirected).
     """
     n = g.node_count
-    table = np.full((n, n), -1, dtype=np.int64)
+    table = np.full((n, n), UNREACHABLE, dtype=np.int64)
     for d in range(n):
         parent = bfs_parents(g, d)
         reachable = parent >= 0
         table[reachable, d] = parent[reachable]
         table[d, d] = d
     return table
+
+
+def table_reachable(
+    table: np.ndarray, srcs: np.ndarray, dsts: np.ndarray
+) -> np.ndarray:
+    """Boolean mask: which (src, dst) pairs the table can route.
+
+    A pair is routable exactly when its entry is not the
+    :data:`UNREACHABLE` sentinel — BFS-compiled tables mark every
+    disconnected pair that way, so one gather answers the whole batch.
+    ``src == dst`` reads the diagonal: a live node self-routes
+    (``table[v, v] = v``), while survivor tables
+    (:func:`repro.routing.fault_routing.survivor_route_table`) mark
+    faulty nodes' diagonals unreachable so a dead endpoint never admits
+    even the trivial route.
+    """
+    srcs = np.asarray(srcs, dtype=np.int64).ravel()
+    dsts = np.asarray(dsts, dtype=np.int64).ravel()
+    if srcs.shape != dsts.shape:
+        raise RoutingError("srcs and dsts must have equal shape")
+    n = table.shape[0]
+    if srcs.size == 0:
+        return np.zeros(0, dtype=bool)
+    if srcs.min() < 0 or dsts.min() < 0 or srcs.max() >= n or dsts.max() >= n:
+        raise RoutingError("endpoint out of range for the routing table")
+    return table[srcs, dsts] != UNREACHABLE
 
 
 def table_routes_batch(
@@ -98,6 +134,27 @@ def table_routes_batch(
     return flat.astype(np.int64, copy=False), offsets
 
 
+def table_routes_batch_masked(
+    table: np.ndarray, srcs: np.ndarray, dsts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Like :func:`table_routes_batch`, but unreachable pairs are skipped
+    instead of raising.
+
+    Returns ``(flat, offsets, kept)``: routes for the reachable pairs in
+    the engines' shared layout plus the (sorted) indices of the input
+    pairs that were routable — the same contract
+    :meth:`repro.simulator.faults.DetourController.detour_routes_batch`
+    exposes, so callers can charge the dropped pairs to their
+    offered-but-unadmitted accounting.
+    """
+    srcs = np.asarray(srcs, dtype=np.int64).ravel()
+    dsts = np.asarray(dsts, dtype=np.int64).ravel()
+    ok = table_reachable(table, srcs, dsts)
+    kept = np.flatnonzero(ok).astype(np.int64)
+    flat, offsets = table_routes_batch(table, srcs[kept], dsts[kept])
+    return flat, offsets, kept
+
+
 @dataclass(frozen=True, eq=False)
 class RouteTable:
     """A compiled next-hop table as a pickle-safe batch-routing artifact.
@@ -146,6 +203,17 @@ class RouteTable:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized batch extraction — see :func:`table_routes_batch`."""
         return table_routes_batch(self.table, srcs, dsts)
+
+    def reachable(self, srcs: np.ndarray, dsts: np.ndarray) -> np.ndarray:
+        """Which pairs this table can route — see :func:`table_reachable`."""
+        return table_reachable(self.table, srcs, dsts)
+
+    def routes_batch_masked(
+        self, srcs: np.ndarray, dsts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Skip-and-report batch extraction — see
+        :func:`table_routes_batch_masked`."""
+        return table_routes_batch_masked(self.table, srcs, dsts)
 
 
 def table_path(table: np.ndarray, source: int, dest: int) -> list[int]:

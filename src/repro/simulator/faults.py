@@ -36,7 +36,11 @@ from repro.core.debruijn import debruijn
 from repro.core.fault_tolerant import ft_debruijn
 from repro.core.reconfiguration import Reconfigurator
 from repro.errors import RoutingError, SimulationError
-from repro.routing.fault_routing import detour_route, lifted_routes_batch
+from repro.routing.fault_routing import (
+    detour_route,
+    lifted_routes_batch,
+    survivor_route_table,
+)
 from repro.routing.shift_register import shift_route
 from repro.simulator.batch_engine import BatchEngine, pack_routes
 from repro.simulator.events import EventQueue
@@ -46,6 +50,7 @@ from repro.simulator.network import NetworkSimulator
 __all__ = ["FaultScenario", "ReconfigurationController", "DetourController"]
 
 _ENGINES = ("object", "batch", "sharded")
+_ROUTE_MODES = ("bfs", "table")
 
 
 def _make_engine(engine: str, graph, link_capacity: int, workers=None):
@@ -246,46 +251,127 @@ class ReconfigurationController:
 
 
 class DetourController:
-    """The spare-less baseline: the bare target graph with BFS detours.
+    """The spare-less baseline: the bare target graph with survivor-graph
+    detours.
 
     After faults, surviving nodes route around dead ones; logical nodes
     hosted on dead processors simply cannot send or receive (counted in
-    ``unreachable_pairs``) — the §I degradation mode.  Routes are still
-    computed per pair (BFS in the survivor graph), but ``engine="batch"``
-    simulates the resulting traffic vectorized.
+    ``unreachable_pairs``) — the §I degradation mode.
+
+    Two routing backends produce those detours, selected by
+    ``route_mode``:
+
+    * ``"bfs"`` (default) — one Python BFS per (src, dst) pair in the
+      survivor graph (:func:`repro.routing.fault_routing.detour_route`),
+      the reference implementation.
+    * ``"table"`` — one compiled
+      :class:`~repro.routing.tables.RouteTable` per *fault epoch*
+      (:func:`repro.routing.fault_routing.survivor_route_table`), cached
+      on the frozen fault set and invalidated by every fault event;
+      whole batches extract vectorized.  Routes are hop-optimal like the
+      BFS ones, but equal-length tie-breaking may differ — the
+      conformance suite (``tests/conformance/``) proves hop-count +
+      validity equivalence and pins table-mode outputs with goldens.
+
+    Faults arrive two ways: :meth:`fail_node` kills a node immediately,
+    and :meth:`schedule` queues a :class:`FaultScenario` on the
+    controller's event clock — the workload drivers fire due events at
+    batch boundaries (:meth:`run_workload`) or exactly on cycle
+    (:func:`repro.simulator.streaming.run_stream`), so mid-stream fault
+    epochs recompile the detour table before the next arrival batch.
     """
 
     def __init__(self, m: int, h: int, *, engine: str = "object",
-                 link_capacity: int = 1, workers: int | None = None):
+                 link_capacity: int = 1, workers: int | None = None,
+                 route_mode: str = "bfs"):
+        if route_mode not in _ROUTE_MODES:
+            raise SimulationError(
+                f"unknown route_mode {route_mode!r}; expected one of "
+                f"{_ROUTE_MODES}"
+            )
         self.m, self.h = int(m), int(h)
         self.target = debruijn(m, h)
         self.engine = engine
+        self.route_mode = route_mode
         self.sim = _make_engine(engine, self.target, link_capacity, workers)
         self.faults: set[int] = set()
         self.unreachable_pairs = 0
+        self.lost_to_faults = 0
+        self.fault_log: list[tuple[int, int]] = []
         #: bumped on every fault, mirroring ReconfigurationController —
         #: streaming route caches key on it
         self.routing_epoch = 0
+        self.events = EventQueue()
+        self._handlers = {"node_fault": self._on_fault}
+        # route_mode="table" epoch cache: one compiled table per frozen
+        # fault set, invalidated by fail_node (every fault event funnels
+        # through it)
+        self._table = None
+        self._table_faults: frozenset[int] | None = None
+
+    def schedule(self, scenario: FaultScenario) -> None:
+        """Add a :class:`FaultScenario`'s events to the controller's queue
+        (cumulative: scheduling twice fires every event twice)."""
+        scenario.schedule_into(self.events)
+
+    def fire_due_events(self, cycle: int | None = None) -> int:
+        """Fire every scheduled event due at or before ``cycle`` (default:
+        the simulator's current cycle); returns the count fired."""
+        due = self.sim.cycle if cycle is None else int(cycle)
+        return self.events.run_handlers(due, self._handlers)
+
+    def _on_fault(self, ev) -> None:
+        node = int(ev.payload)
+        self.fail_node(node)
+        self.fault_log.append((self.sim.cycle, node))
 
     def fail_node(self, node: int) -> None:
         """Kill a physical node: survivors detour around it from now on;
-        packets already queued on its links drop."""
-        self.faults.add(int(node))
-        self.sim.disable_node(int(node))
+        packets already queued on its links drop (counted in
+        ``lost_to_faults``).  Invalidates the compiled-table cache.
+
+        The engine validates the node id first — a rejected id must not
+        leak into ``faults``, where it would poison every later routing
+        batch."""
+        node = int(node)
+        self.lost_to_faults += self.sim.disable_node(node)
+        self.faults.add(node)
         self.routing_epoch += 1
 
+    def survivor_table(self):
+        """The current fault epoch's compiled detour
+        :class:`~repro.routing.tables.RouteTable` (original node ids),
+        compiled at most once per frozen fault set."""
+        key = frozenset(self.faults)
+        if self._table is None or self._table_faults != key:
+            self._table = survivor_route_table(self.target, key)
+            self._table_faults = key
+        return self._table
+
     def detour_routes_batch(
-        self, pairs: np.ndarray
+        self, pairs: np.ndarray, *, record: bool = True
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """BFS detour routes for a batch of (src, dst) pairs under the
-        current fault set.
+        """Detour routes for a batch of (src, dst) pairs under the
+        current fault set, via the configured ``route_mode`` backend.
 
         Returns ``(flat, offsets, kept)``: the engines' shared flattened
         route layout plus the indices of the pairs that are actually
         routable.  Unreachable pairs (faulty endpoint or disconnected
-        survivors) are skipped and counted in ``unreachable_pairs`` —
-        the open-loop streaming driver injects only the kept rows."""
+        survivors) are skipped and — when ``record`` is true — counted
+        in ``unreachable_pairs``; the open-loop streaming driver passes
+        ``record=False`` and accounts per injected epoch instead, so a
+        mid-stream re-route of the same tail never double-counts."""
         pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if self.route_mode == "table":
+            flat, offsets, kept = self._table_routes(pairs)
+        else:
+            flat, offsets, kept = self._bfs_routes(pairs)
+        if record:
+            self.unreachable_pairs += int(pairs.shape[0] - kept.size)
+        return flat, offsets, kept
+
+    def _bfs_routes(self, pairs: np.ndarray):
+        """Reference backend: per-pair BFS in the survivor graph."""
         faults = sorted(self.faults)
         routes: list[list[int]] = []
         kept: list[int] = []
@@ -294,9 +380,20 @@ class DetourController:
                 routes.append(detour_route(self.target, faults, int(s), int(d)))
                 kept.append(i)
             except RoutingError:
-                self.unreachable_pairs += 1
+                pass
         flat, offsets = pack_routes(routes)
         return flat, offsets, np.asarray(kept, dtype=np.int64)
+
+    def _table_routes(self, pairs: np.ndarray):
+        """Compiled backend: one cached table per epoch, vectorized
+        extraction.  The survivor table encodes endpoint liveness too
+        (a faulty node's diagonal is the UNREACHABLE sentinel), so one
+        masked extraction decides admission and emits every route."""
+        rt = self.survivor_table()
+        if pairs.shape[0] == 0:
+            z = np.zeros(0, dtype=np.int64)
+            return z, np.zeros(1, dtype=np.int64), z
+        return rt.routes_batch_masked(pairs[:, 0], pairs[:, 1])
 
     def run_stream(self, source, **kwargs):
         """Open-loop twin of :meth:`run_workload` — see
@@ -307,17 +404,22 @@ class DetourController:
 
     def run_workload(self, batches: list[np.ndarray], *,
                      max_cycles: int = 1_000_000) -> RunStats:
-        """Route (per pair, BFS in the survivor graph) and drain each
-        batch.  ``engine="sharded"`` defers the drains and runs them as
-        one parallel wave — the fault set is fixed inside a workload, so
-        the batches are independent and the merged statistics are
-        bit-identical to the sequential engines."""
+        """Route (via the configured backend) and drain each batch,
+        firing scheduled fault events at batch boundaries (the detour
+        baseline drains whole batches, so that is its event granularity;
+        events due past the last simulated cycle never fire).
+        ``engine="sharded"`` defers the drains and runs them as one
+        parallel wave — with a fixed fault set the batches are
+        independent and the merged statistics are bit-identical to the
+        sequential engines."""
         sharded = self.engine == "sharded"
         for batch in batches:
+            self.fire_due_events()
             flat, offsets, _ = self.detour_routes_batch(batch)
             self.sim.inject_routes(flat, offsets, validate=False)
             if not sharded:
                 self.sim.run(max_cycles)
         if sharded:
             self.sim.run(max_cycles)
+        self.fire_due_events()
         return self.sim.stats()

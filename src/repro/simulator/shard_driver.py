@@ -75,6 +75,7 @@ __all__ = [
 _I64 = np.int64
 
 _CONTROLLERS = ("reconfig", "detour")
+_ROUTE_MODES = ("bfs", "table")
 
 
 # ---------------------------------------------------------------------------
@@ -239,8 +240,13 @@ class Scenario:
     to rebuild and run it (pure data — pickles by value).
 
     ``faults`` are ``(cycle, node)`` pairs.  The ``reconfig`` controller
-    fires them on the honest timeline; the ``detour`` baseline has no
-    event clock and applies the nodes before any traffic.
+    fires them on the honest timeline; the ``detour`` baseline fires
+    them at batch boundaries (its drains are whole batches).
+
+    ``route_mode`` selects the ``detour`` baseline's routing backend —
+    ``"bfs"`` per-pair reference or ``"table"`` compiled once per fault
+    epoch (see :class:`~repro.simulator.faults.DetourController`); the
+    ``reconfig`` controller ignores it.
 
     ``shards > 1`` splits the scenario's injection batches across that
     many independent tasks.  Because engines fully drain between batches,
@@ -261,6 +267,7 @@ class Scenario:
     cycles_per_batch: int = 0
     controller: str = "reconfig"
     engine: str = "batch"
+    route_mode: str = "bfs"
     shards: int = 1
     max_cycles: int = 1_000_000
 
@@ -282,6 +289,11 @@ class Scenario:
             raise ParameterError(
                 f"Scenario.engine must be 'object' or 'batch', got "
                 f"{self.engine!r}"
+            )
+        if self.route_mode not in _ROUTE_MODES:
+            raise ParameterError(
+                f"unknown route_mode {self.route_mode!r}; "
+                f"expected one of {_ROUTE_MODES}"
             )
         if self.batches < 1 or self.shards < 1:
             raise ParameterError("batches and shards must be >= 1")
@@ -331,6 +343,8 @@ class Scenario:
             parts.append(f"{len(self.faults)}flt")
         if self.controller != "reconfig":
             parts.append(self.controller)
+            if self.route_mode != "bfs":
+                parts.append(self.route_mode)
         return " ".join(parts)
 
     def traffic(self) -> np.ndarray:
@@ -359,10 +373,12 @@ class Scenario:
         engine = engine or self.engine
         if self.controller == "detour":
             ctrl = DetourController(
-                self.m, self.h, engine=engine, link_capacity=self.link_capacity
+                self.m, self.h, engine=engine,
+                link_capacity=self.link_capacity,
+                route_mode=self.route_mode,
             )
-            for _, node in self.faults:
-                ctrl.fail_node(node)
+            if self.faults:
+                ctrl.schedule(FaultScenario(list(self.faults)))
             return ctrl
         ctrl = ReconfigurationController(
             self.m, self.h, self.k, engine=engine,
@@ -435,9 +451,10 @@ class ScenarioGrid:
 
     Axes (in product order): ``mhk`` x ``patterns`` x ``loads`` x
     ``fault_sets`` x ``seeds``.  Scalars (``link_capacity``, ``batches``,
-    ``cycles_per_batch``, ``controller``, ``engine``, ``shards``) apply
-    to every cell; ``engine`` is recorded per row in published sweeps so
-    curves state what produced them.
+    ``cycles_per_batch``, ``controller``, ``engine``, ``route_mode``,
+    ``shards``) apply to every cell; ``engine`` and ``route_mode`` are
+    recorded per row in published sweeps so curves state what produced
+    them.
 
     >>> grid = ScenarioGrid(mhk=[(2, 4, 1)], patterns=["uniform"],
     ...                     loads=[100], seeds=[0, 1])
@@ -455,6 +472,7 @@ class ScenarioGrid:
     cycles_per_batch: int = 0
     controller: str = "reconfig"
     engine: str = "batch"
+    route_mode: str = "bfs"
     shards: int = 1
 
     def __post_init__(self):
@@ -495,6 +513,7 @@ class ScenarioGrid:
                     cycles_per_batch=self.cycles_per_batch,
                     controller=self.controller,
                     engine=self.engine,
+                    route_mode=self.route_mode,
                     shards=self.shards,
                 )
             )
@@ -513,6 +532,7 @@ class ScenarioGrid:
             "cycles_per_batch": self.cycles_per_batch,
             "controller": self.controller,
             "engine": self.engine,
+            "route_mode": self.route_mode,
             "shards": self.shards,
         }
 
@@ -774,6 +794,7 @@ class GridResult:
                 "seed": sc.seed,
                 "controller": sc.controller,
                 "engine": sc.engine,
+                "route_mode": sc.route_mode,
                 "cycles": st.cycles,
                 "delivered": st.delivered,
                 "dropped": st.dropped,

@@ -79,6 +79,7 @@ _I64 = np.int64
 
 _CONTROLLERS = ("reconfig", "detour")
 _STREAM_ENGINES = ("object", "batch")
+_ROUTE_MODES = ("bfs", "table")
 
 
 def _records_of(sim) -> PacketArrays:
@@ -154,28 +155,48 @@ def run_stream(
     times = rel_times + t0
     is_reconfig = hasattr(ctrl, "physical_routes_batch")
 
-    unadmitted: list[np.ndarray] = []
+    unadmitted: list[np.ndarray] = []   # finalized (epoch-closed) chunks
+    _empty = np.zeros(0, dtype=_I64)
 
     def route_tail(i0: int):
         """Route pairs[i0:] under the current fault state; returns the
-        kept packets' injection cycles plus their flattened routes.
-        Unroutable pairs (detour baseline) are recorded as unadmitted —
-        they still count as offered load in the summary."""
+        kept packets' injection cycles, their flattened routes, and the
+        arrival cycles of unroutable pairs (detour baseline).  The
+        unadmitted times stay *provisional* until their cycle passes: a
+        later fault epoch re-routes the not-yet-injected tail, so only
+        the driver knows when a refusal is final — that is also why the
+        controller's own ``unreachable_pairs`` counter is deferred
+        (``record=False``) to the driver's epoch accounting."""
         sub = pairs[i0:]
         if is_reconfig:
             flat, offsets = ctrl.physical_routes_batch(sub[:, 0], sub[:, 1])
-            return times[i0:], flat, offsets
-        flat, offsets, kept = ctrl.detour_routes_batch(sub)
+            return times[i0:], flat, offsets, _empty
+        flat, offsets, kept = ctrl.detour_routes_batch(sub, record=False)
         keep_mask = np.zeros(sub.shape[0], dtype=bool)
         keep_mask[kept] = True
-        unadmitted.append(times[i0:][~keep_mask])
-        return times[i0:][kept], flat, offsets
+        return times[i0:][kept], flat, offsets, times[i0:][~keep_mask]
 
-    ktimes, flat, offsets = route_tail(0)
-    p = 0          # pointer into the routed tail (packets injected so far)
-    consumed = 0   # original pairs consumed (reconfig re-route base)
-    epoch = getattr(ctrl, "routing_epoch", 0)
+    def finalize_unadmitted(before: int) -> np.ndarray:
+        """Close out the current epoch's refusals with arrival cycles
+        strictly before ``before`` (re-routing covers the rest)."""
+        done = cur_un[cur_un < before]
+        if done.size:
+            unadmitted.append(done)
+            ctrl.unreachable_pairs += int(done.size)
+        return cur_un[cur_un >= before]
+
     events = getattr(ctrl, "events", None)
+    if events is not None:
+        # fire events already due at the start cycle *before* the first
+        # routing pass — otherwise a cycle-0 fault (the common scheduled
+        # shape) would have the whole tail routed on the pre-fault state
+        # only to be discarded and re-routed one line into the loop.
+        # Observationally identical: the reference order at t0 is still
+        # fire -> inject -> step.
+        ctrl.fire_due_events(t0)
+    ktimes, flat, offsets, cur_un = route_tail(0)
+    p = 0          # pointer into the routed tail (packets injected so far)
+    epoch = getattr(ctrl, "routing_epoch", 0)
     fast = hasattr(sim, "next_departure_cycle")
     t_end = t0 + int(cycles)
 
@@ -186,7 +207,13 @@ def run_stream(
             ctrl.fire_due_events(t)
             if ctrl.routing_epoch != epoch:
                 epoch = ctrl.routing_epoch
-                ktimes, flat, offsets = route_tail(consumed)
+                # everything with an arrival cycle < t is already
+                # injected (or finally refused); the rest re-routes
+                # under the new fault state
+                cur_un = finalize_unadmitted(t)
+                ktimes, flat, offsets, cur_un = route_tail(
+                    int(np.searchsorted(times, t, side="left"))
+                )
                 p = 0
         # 2. inject arrivals due at t (a pre-routed contiguous slice)
         if p < ktimes.size and ktimes[p] == t:
@@ -195,7 +222,6 @@ def run_stream(
             sim.inject_routes(
                 flat[lo:hi], offsets[p: q + 1] - lo, validate=is_reconfig
             )
-            consumed += q - p
             p = q
         # 3. advance the clock
         if fast:
@@ -218,6 +244,8 @@ def run_stream(
             sim.step()
             t += 1
 
+    # close the last epoch: every remaining refusal's cycle has passed
+    cur_un = finalize_unadmitted(t_end)
     return stream_summary(
         _records_of(sim), start=t0, cycles=cycles, warmup=warmup,
         window=window,
@@ -243,9 +271,16 @@ class StreamScenario:
     different rates out across a
     :class:`~repro.simulator.shard_driver.ShardDriver` pool.
 
-    ``faults`` are ``(cycle, node)`` pairs; the ``reconfig`` controller
-    fires them on the honest per-cycle timeline, the ``detour`` baseline
-    applies the nodes before any traffic (it has no event clock).
+    ``faults`` are ``(cycle, node)`` pairs; both controllers fire them on
+    the honest per-cycle timeline (a mid-stream fault takes down queued
+    traffic and re-routes — for the ``detour`` baseline that also
+    recompiles the ``route_mode="table"`` epoch cache before the next
+    arrival batch).
+
+    ``route_mode`` selects the detour baseline's routing backend
+    (``"bfs"`` per-pair reference or ``"table"`` compiled per epoch —
+    see :class:`~repro.simulator.faults.DetourController`); the
+    ``reconfig`` controller ignores it.
     """
 
     m: int
@@ -262,6 +297,7 @@ class StreamScenario:
     link_capacity: int = 1
     controller: str = "reconfig"
     engine: str = "batch"
+    route_mode: str = "bfs"
     mean_on: float = 20.0
     mean_off: float = 20.0
 
@@ -285,6 +321,11 @@ class StreamScenario:
                 f"StreamScenario.engine must be one of {_STREAM_ENGINES}, "
                 f"got {self.engine!r} (streaming interleaves per-cycle "
                 f"arrivals; the sharded engine cannot)"
+            )
+        if self.route_mode not in _ROUTE_MODES:
+            raise ParameterError(
+                f"unknown route_mode {self.route_mode!r}; "
+                f"expected one of {_ROUTE_MODES}"
             )
         if not self.rate > 0:
             raise ParameterError("rate must be > 0")
@@ -310,6 +351,8 @@ class StreamScenario:
             parts.append(f"{len(self.faults)}flt")
         if self.controller != "reconfig":
             parts.append(self.controller)
+            if self.route_mode != "bfs":
+                parts.append(self.route_mode)
         return " ".join(parts)
 
     def with_rate(self, rate: float) -> "StreamScenario":
@@ -336,9 +379,10 @@ class StreamScenario:
             ctrl = DetourController(
                 self.m, self.h, engine=self.engine,
                 link_capacity=self.link_capacity,
+                route_mode=self.route_mode,
             )
-            for _, node in self.faults:
-                ctrl.fail_node(node)
+            if self.faults:
+                ctrl.schedule(FaultScenario(list(self.faults)))
             return ctrl
         ctrl = ReconfigurationController(
             self.m, self.h, self.k, engine=self.engine,

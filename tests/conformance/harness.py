@@ -1,0 +1,110 @@
+"""Shared machinery for the routing conformance suite.
+
+The conformance regime (see ``tests/conformance/``) is how routing
+changes become landable in this repo: a candidate backend does **not**
+have to reproduce the reference's exact paths (BFS tie-breaking is an
+implementation detail), it has to prove
+
+1. **validity** — every emitted route is a real survivor-graph path:
+   endpoints match the requested pair, every hop is an edge, no faulty
+   node appears, no node repeats;
+2. **hop-optimality** — every route's length equals the survivor-graph
+   BFS distance, so the two backends are exchangeable for every
+   hop-derived statistic;
+3. **admission equivalence** — both backends admit exactly the same
+   pairs and charge the same ``unreachable_pairs``;
+4. **pinned outputs** — the candidate's own results are frozen in golden
+   files across every engine, so refactors cannot silently move it.
+
+This module holds the checkers the suite's test files share.  It is
+imported as ``tests.conformance.harness`` (namespace package rooted at
+the repo checkout, the same idiom as ``tests.conftest``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.properties import bfs_distances
+from repro.graphs.static_graph import StaticGraph
+
+__all__ = [
+    "survivor_on_full_node_set",
+    "iter_routes",
+    "assert_valid_survivor_routes",
+    "hop_histogram",
+]
+
+
+def survivor_on_full_node_set(g: StaticGraph, faults) -> StaticGraph:
+    """The survivor graph with original node ids: all ``n`` nodes kept,
+    every fault-incident edge removed (faulty nodes become isolated)."""
+    fset = sorted({int(v) for v in faults})
+    if not fset:
+        return g
+    e = g.edges()
+    alive = np.ones(g.node_count, dtype=bool)
+    alive[fset] = False
+    sel = alive[e[:, 0]] & alive[e[:, 1]] if e.shape[0] else np.zeros(0, bool)
+    return StaticGraph(g.node_count, e[sel])
+
+
+def iter_routes(flat: np.ndarray, offsets: np.ndarray):
+    """Yield each route of a flattened ``(flat, offsets)`` batch."""
+    for i in range(offsets.size - 1):
+        yield flat[int(offsets[i]): int(offsets[i + 1])]
+
+
+def assert_valid_survivor_routes(
+    flat: np.ndarray,
+    offsets: np.ndarray,
+    pairs: np.ndarray,
+    target: StaticGraph,
+    faults,
+) -> None:
+    """The conformance validity + hop-optimality oracle.
+
+    ``pairs`` are the (src, dst) rows the routes were emitted for (the
+    *kept* rows, in order).  Every route must start at its src, end at
+    its dst, avoid ``faults``, repeat no node, traverse only
+    survivor-graph edges, and be exactly as long as the survivor-graph
+    BFS distance.  Distances come from an independent implementation
+    (:func:`repro.graphs.properties.bfs_distances`), not from either
+    routing backend under test.
+    """
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    assert offsets.size - 1 == pairs.shape[0], "route count != kept pairs"
+    fset = {int(v) for v in faults}
+    survivor = survivor_on_full_node_set(target, fset)
+    dist_from: dict[int, np.ndarray] = {}
+    for route, (src, dst) in zip(iter_routes(flat, offsets), pairs):
+        src, dst = int(src), int(dst)
+        assert route.size >= 1
+        assert int(route[0]) == src, f"route starts at {route[0]}, not {src}"
+        assert int(route[-1]) == dst, f"route ends at {route[-1]}, not {dst}"
+        assert not (set(route.tolist()) & fset), (
+            f"route {route.tolist()} passes through a faulty node"
+        )
+        assert len(set(route.tolist())) == route.size, (
+            f"route {route.tolist()} repeats a node"
+        )
+        if route.size > 1:
+            ok = survivor.has_edges(route[:-1], route[1:])
+            assert bool(ok.all()), (
+                f"route {route.tolist()} uses a non-survivor edge"
+            )
+        if src not in dist_from:
+            dist_from[src] = bfs_distances(survivor, src)
+        d = int(dist_from[src][dst])
+        assert d >= 0, f"pair ({src}, {dst}) admitted but disconnected"
+        assert route.size - 1 == d, (
+            f"route {route.tolist()} has {route.size - 1} hops, "
+            f"survivor BFS distance is {d}"
+        )
+
+
+def hop_histogram(offsets: np.ndarray) -> dict[int, int]:
+    """Multiset of per-route hop counts, as a plain dict."""
+    lens = np.diff(np.asarray(offsets, dtype=np.int64)) - 1
+    values, counts = np.unique(lens, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}

@@ -1,0 +1,220 @@
+"""Golden conformance: ``route_mode="table"`` outputs are *pinned*.
+
+The differential suite proves table mode equivalent to the BFS
+reference; this module freezes table mode against **itself** so future
+refactors (a faster compile, a different frontier order, a new engine)
+cannot silently move the outputs the repo publishes:
+
+* ``workload_table.json`` — closed-loop batches with faults at cycle 0:
+  per-packet records bit-identical on ``engine="object"`` and
+  ``engine="batch"``, and the drained :class:`RunStats` bit-identical on
+  all three engines (``"sharded"`` included — static fault sets are its
+  exactness regime).
+* ``workload_table_midrun.json`` — a fault that comes due *between*
+  batches: the detour epoch cache must recompile at the batch boundary.
+  Per-packet records pinned for the per-cycle engines (the sharded
+  engine defers whole waves, so mid-run fault timing is out of its
+  contract — see ``docs/faults-and-detours.md``).
+* ``stream_table.json`` — open-loop streaming with a *mid-stream* fault
+  epoch: per-packet records, the fault log, and the refusal accounting
+  pinned bit-identically for both per-cycle engines.
+
+Regenerate (after an *intentional* change only) with::
+
+    PYTHONPATH=src python tests/conformance/test_goldens.py --regen
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    DetourController,
+    FaultScenario,
+    PacketArrays,
+    PoissonSource,
+    make_pattern,
+    run_stream,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+M, H, N = 2, 5, 32
+WORKLOAD_FAULTS = [(0, 3), (0, 17)]
+MIDRUN_FAULTS = [(0, 3), (5, 17)]
+STREAM_FAULTS = [(0, 3), (60, 9)]
+STREAM_RATE = 10.0  # hot enough that the cycle-60 fault drops queued packets
+
+
+def _records(ctrl) -> PacketArrays:
+    sim = ctrl.sim
+    if hasattr(sim, "packet_records"):
+        return sim.packet_records()
+    return PacketArrays.from_packets(sim.packets)
+
+
+def _records_payload(rec: PacketArrays) -> dict:
+    return {
+        "injected_at": rec.injected_at.tolist(),
+        "delivered_at": rec.delivered_at.tolist(),
+        "hops": rec.hops.tolist(),
+        "dropped": [bool(x) for x in rec.dropped],
+    }
+
+
+def _workload_batches():
+    pairs = make_pattern(N, "uniform", 240, np.random.default_rng(11))
+    return np.array_split(pairs, 3)
+
+
+def run_workload_case(engine: str, faults) -> tuple[DetourController, object]:
+    ctrl = DetourController(M, H, engine=engine, route_mode="table",
+                            workers=0 if engine == "sharded" else None)
+    ctrl.schedule(FaultScenario([tuple(f) for f in faults]))
+    stats = ctrl.run_workload([b.copy() for b in _workload_batches()])
+    return ctrl, stats
+
+
+def run_stream_case(engine: str) -> tuple[DetourController, object]:
+    ctrl = DetourController(M, H, engine=engine, route_mode="table")
+    ctrl.schedule(FaultScenario([tuple(f) for f in STREAM_FAULTS]))
+    src = PoissonSource(N, STREAM_RATE, seed=3)
+    stats = run_stream(ctrl, src, cycles=240, warmup=40, window=40)
+    return ctrl, stats
+
+
+def _workload_golden(faults) -> dict:
+    ctrl, stats = run_workload_case("batch", faults)
+    return {
+        "machine": {"m": M, "h": H},
+        "route_mode": "table",
+        "faults": [list(f) for f in faults],
+        "records": _records_payload(_records(ctrl)),
+        "run_stats": dataclasses.asdict(stats),
+        "unreachable_pairs": ctrl.unreachable_pairs,
+        "fault_log": [list(f) for f in ctrl.fault_log],
+    }
+
+
+def _stream_golden() -> dict:
+    ctrl, stats = run_stream_case("batch")
+    return {
+        "machine": {"m": M, "h": H},
+        "route_mode": "table",
+        "faults": [list(f) for f in STREAM_FAULTS],
+        "records": _records_payload(_records(ctrl)),
+        "unreachable_pairs": ctrl.unreachable_pairs,
+        "lost_to_faults": ctrl.lost_to_faults,
+        "fault_log": [list(f) for f in ctrl.fault_log],
+        "stream": {
+            "offered": stats.offered,
+            "delivered": stats.delivered,
+            "dropped": stats.dropped,
+            "unadmitted": stats.unadmitted,
+            "final_occupancy": stats.final_occupancy,
+        },
+    }
+
+
+GOLDENS = {
+    "workload_table.json": lambda: _workload_golden(WORKLOAD_FAULTS),
+    "workload_table_midrun.json": lambda: _workload_golden(MIDRUN_FAULTS),
+    "stream_table.json": _stream_golden,
+}
+
+
+def _load(name: str) -> dict:
+    path = GOLDEN_DIR / name
+    if not path.exists():  # pragma: no cover - only before first regen
+        pytest.fail(
+            f"golden file {path} missing — run "
+            f"PYTHONPATH=src python tests/conformance/test_goldens.py --regen"
+        )
+    return json.loads(path.read_text())
+
+
+def _assert_records_match(rec: PacketArrays, golden: dict) -> None:
+    assert rec.injected_at.tolist() == golden["injected_at"]
+    assert rec.delivered_at.tolist() == golden["delivered_at"]
+    assert rec.hops.tolist() == golden["hops"]
+    assert [bool(x) for x in rec.dropped] == golden["dropped"]
+
+
+class TestWorkloadGoldens:
+    @pytest.mark.parametrize("engine", ["object", "batch"])
+    def test_per_packet_records_pinned(self, engine):
+        golden = _load("workload_table.json")
+        ctrl, _ = run_workload_case(engine, WORKLOAD_FAULTS)
+        _assert_records_match(_records(ctrl), golden["records"])
+        assert ctrl.unreachable_pairs == golden["unreachable_pairs"]
+        assert [list(f) for f in ctrl.fault_log] == golden["fault_log"]
+
+    @pytest.mark.parametrize("engine", ["object", "batch", "sharded"])
+    def test_run_stats_pinned_all_engines(self, engine):
+        golden = _load("workload_table.json")
+        ctrl, stats = run_workload_case(engine, WORKLOAD_FAULTS)
+        assert dataclasses.asdict(stats) == golden["run_stats"]
+        assert ctrl.unreachable_pairs == golden["unreachable_pairs"]
+
+    @pytest.mark.parametrize("engine", ["object", "batch"])
+    def test_midrun_fault_epoch_pinned(self, engine):
+        """The fault comes due between batches: the compiled-table cache
+        must be invalidated at the boundary and the later batches routed
+        on the new survivor graph — pinned packet-for-packet."""
+        golden = _load("workload_table_midrun.json")
+        ctrl, stats = run_workload_case(engine, MIDRUN_FAULTS)
+        _assert_records_match(_records(ctrl), golden["records"])
+        assert dataclasses.asdict(stats) == golden["run_stats"]
+        assert ctrl.unreachable_pairs == golden["unreachable_pairs"]
+        # both faults actually fired, the second one mid-run
+        assert [list(f) for f in ctrl.fault_log] == golden["fault_log"]
+        assert ctrl.fault_log[1][0] > 0
+
+
+class TestStreamGoldens:
+    @pytest.mark.parametrize("engine", ["object", "batch"])
+    def test_mid_stream_epoch_pinned(self, engine):
+        golden = _load("stream_table.json")
+        ctrl, stats = run_stream_case(engine)
+        _assert_records_match(_records(ctrl), golden["records"])
+        assert ctrl.unreachable_pairs == golden["unreachable_pairs"]
+        assert ctrl.lost_to_faults == golden["lost_to_faults"]
+        assert [list(f) for f in ctrl.fault_log] == golden["fault_log"]
+        s = golden["stream"]
+        assert stats.offered == s["offered"]
+        assert stats.delivered == s["delivered"]
+        assert stats.dropped == s["dropped"]
+        assert stats.unadmitted == s["unadmitted"]
+        assert stats.final_occupancy == s["final_occupancy"]
+
+    def test_stream_fault_epoch_did_bite(self):
+        """Guard the scenario itself: the golden is only interesting if
+        the mid-stream fault dropped queued packets and refused traffic
+        both before and after the epoch change."""
+        golden = _load("stream_table.json")
+        assert golden["lost_to_faults"] > 0
+        assert golden["stream"]["dropped"] >= golden["lost_to_faults"]
+        assert golden["unreachable_pairs"] > 0
+        assert golden["fault_log"] == [[0, 3], [60, 9]]
+
+
+def regen() -> None:  # pragma: no cover - maintenance entry point
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, build in GOLDENS.items():
+        payload = build()
+        (GOLDEN_DIR / name).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {GOLDEN_DIR / name}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regen" in sys.argv:
+        regen()
+    else:
+        print(__doc__)

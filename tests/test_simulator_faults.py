@@ -108,6 +108,50 @@ class TestDetourController:
         assert det.unreachable_pairs > 0
         assert st.delivered + det.unreachable_pairs == 200
 
+    def test_rejects_unknown_route_mode(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="route_mode"):
+            DetourController(2, 4, route_mode="warp")
+
+    @pytest.mark.parametrize("route_mode", ["bfs", "table"])
+    def test_scheduled_fault_fires_at_batch_boundary(self, rng, route_mode):
+        """The detour baseline's event clock: a fault due mid-run fires
+        before the next batch routes, so later batches detour around it
+        and traffic to it is refused."""
+        det = DetourController(2, 4, engine="batch", route_mode=route_mode)
+        det.schedule(FaultScenario([(1, 5)]))
+        to_dead = np.array([[0, 5]] * 10, dtype=np.int64)
+        det.run_workload([uniform_traffic(16, 40, rng), to_dead])
+        assert det.fault_log and det.fault_log[0][1] == 5
+        assert det.fault_log[0][0] >= 1
+        assert det.unreachable_pairs >= 10  # the whole second batch
+
+    def test_fail_node_counts_lost_packets(self):
+        """Packets queued in a router when it dies are charged to
+        lost_to_faults, mirroring the reconfiguration controller."""
+        det = DetourController(2, 4, engine="batch")
+        flat, offsets, _ = det.detour_routes_batch(
+            np.array([[5, 0], [5, 2]], dtype=np.int64)
+        )
+        det.sim.inject_routes(flat, offsets, validate=False)
+        det.fail_node(5)  # both packets still sit in node 5's queue
+        assert det.lost_to_faults == 2
+
+    @pytest.mark.parametrize("route_mode", ["bfs", "table"])
+    def test_rejected_fault_node_does_not_poison_state(self, route_mode):
+        """An out-of-range node must be rejected *before* it enters the
+        fault set — otherwise every later routing batch would raise."""
+        from repro.errors import SimulationError
+
+        det = DetourController(2, 4, engine="batch", route_mode=route_mode)
+        with pytest.raises(SimulationError):
+            det.fail_node(99)
+        assert det.faults == set()
+        pairs = np.array([[0, 7]], dtype=np.int64)
+        _, _, kept = det.detour_routes_batch(pairs)
+        assert kept.tolist() == [0]  # routing still works
+
     def test_detour_vs_reconfig_comparison(self, rng):
         """The MOTIV experiment in miniature: the FT machine delivers
         everything, the bare machine cannot."""

@@ -29,11 +29,12 @@ def _records(ctrl) -> PacketArrays:
 
 
 def _stream(engine, faults=(), *, controller="reconfig", rate=2.0,
-            cycles=300, warmup=50, window=50, capacity=1):
+            cycles=300, warmup=50, window=50, capacity=1, route_mode="bfs"):
     if controller == "detour":
-        ctrl = DetourController(2, 5, engine=engine, link_capacity=capacity)
-        for _, node in faults:
-            ctrl.fail_node(node)
+        ctrl = DetourController(2, 5, engine=engine, link_capacity=capacity,
+                                route_mode=route_mode)
+        if faults:
+            ctrl.schedule(FaultScenario(list(faults)))
     else:
         ctrl = ReconfigurationController(
             2, 5, 2, engine=engine, link_capacity=capacity
@@ -66,10 +67,33 @@ class TestGoldenEquivalence:
         _, sb = _stream("batch", capacity=2, rate=6.0)
         assert so == sb
 
-    def test_detour_streaming_identical(self):
-        co, so = _stream("object", ((0, 3),), controller="detour", rate=1.0)
-        cb, sb = _stream("batch", ((0, 3),), controller="detour", rate=1.0)
+    @pytest.mark.parametrize("route_mode", ["bfs", "table"])
+    def test_detour_streaming_identical(self, route_mode):
+        co, so = _stream("object", ((0, 3),), controller="detour", rate=1.0,
+                         route_mode=route_mode)
+        cb, sb = _stream("batch", ((0, 3),), controller="detour", rate=1.0,
+                         route_mode=route_mode)
         assert so == sb
+        assert co.unreachable_pairs == cb.unreachable_pairs > 0
+        assert so.unadmitted == co.unreachable_pairs
+
+    @pytest.mark.parametrize("route_mode", ["bfs", "table"])
+    def test_detour_mid_stream_fault_identical(self, route_mode):
+        """A detour fault firing *mid-stream* opens a new routing epoch
+        (for route_mode="table": recompiles the survivor table) — both
+        engines must agree packet-for-packet through the transition."""
+        faults = ((0, 3), (60, 9))
+        co, so = _stream("object", faults, controller="detour", rate=3.0,
+                         route_mode=route_mode)
+        cb, sb = _stream("batch", faults, controller="detour", rate=3.0,
+                         route_mode=route_mode)
+        po, pb = _records(co), _records(cb)
+        assert np.array_equal(po.injected_at, pb.injected_at)
+        assert np.array_equal(po.delivered_at, pb.delivered_at)
+        assert np.array_equal(po.hops, pb.hops)
+        assert np.array_equal(po.dropped, pb.dropped)
+        assert so == sb
+        assert co.fault_log == cb.fault_log == [(0, 3), (60, 9)]
         assert co.unreachable_pairs == cb.unreachable_pairs > 0
         assert so.unadmitted == co.unreachable_pairs
 
@@ -79,6 +103,80 @@ class TestGoldenEquivalence:
         ctrl, stats = _stream("batch", ((60, 9),), rate=4.0)
         assert ctrl.fault_log == [(60, 9)]
         assert stats.totals.dropped == ctrl.lost_to_faults > 0
+
+
+class TestDetourTableCache:
+    """route_mode="table" epoch cache: compile exactly once per frozen
+    fault set, recompile before the first arrival batch after a fault."""
+
+    def _spy_compiles(self, monkeypatch):
+        import repro.simulator.faults as faults_mod
+
+        calls: list[frozenset] = []
+        real = faults_mod.survivor_route_table
+
+        def spy(g, fs):
+            calls.append(frozenset(int(v) for v in fs))
+            return real(g, fs)
+
+        monkeypatch.setattr(faults_mod, "survivor_route_table", spy)
+        return calls
+
+    def test_one_compile_per_epoch_closed_loop(self, monkeypatch):
+        from repro.simulator import make_pattern
+
+        calls = self._spy_compiles(monkeypatch)
+        ctrl = DetourController(2, 5, engine="batch", route_mode="table")
+        ctrl.fail_node(3)
+        pairs = make_pattern(32, "uniform", 160, np.random.default_rng(1))
+        ctrl.run_workload(list(np.array_split(pairs, 4)))
+        # four batches, one fault epoch -> exactly one compile
+        assert calls == [frozenset({3})]
+
+    def test_mid_stream_fault_recompiles_before_next_arrivals(
+        self, monkeypatch
+    ):
+        calls = self._spy_compiles(monkeypatch)
+        ctrl = DetourController(2, 5, engine="batch", route_mode="table")
+        ctrl.schedule(FaultScenario([(60, 9)]))
+        run_stream(ctrl, PoissonSource(32, 2.0, seed=3), cycles=200)
+        # epoch 0 (fault-free) + the post-fault epoch, nothing else —
+        # the recompile happens at the fault cycle, before the next
+        # arrival batch is injected
+        assert calls == [frozenset(), frozenset({9})]
+        assert ctrl.fault_log == [(60, 9)]
+        # traffic addressed at the dead node after cycle 60 was refused
+        # by the *recompiled* table
+        assert ctrl.unreachable_pairs > 0
+
+    def test_cycle_zero_fault_compiles_once(self, monkeypatch):
+        """Events due at the start cycle fire before the first routing
+        pass, so a cycle-0 scheduled fault costs one compile, not a
+        discarded fault-free compile plus a recompile."""
+        calls = self._spy_compiles(monkeypatch)
+        ctrl = DetourController(2, 5, engine="batch", route_mode="table")
+        ctrl.schedule(FaultScenario([(0, 3)]))
+        run_stream(ctrl, PoissonSource(32, 2.0, seed=3), cycles=100)
+        assert calls == [frozenset({3})]
+
+    def test_bfs_mode_never_compiles(self, monkeypatch):
+        calls = self._spy_compiles(monkeypatch)
+        ctrl = DetourController(2, 5, engine="batch", route_mode="bfs")
+        ctrl.schedule(FaultScenario([(60, 9)]))
+        run_stream(ctrl, PoissonSource(32, 1.0, seed=3), cycles=100)
+        assert calls == []
+
+    def test_repeated_fault_does_not_recompile(self, monkeypatch):
+        """fail_node on an already-dead node bumps the epoch but leaves
+        the frozen fault set unchanged — the cache key sees through it."""
+        calls = self._spy_compiles(monkeypatch)
+        ctrl = DetourController(2, 4, engine="batch", route_mode="table")
+        ctrl.fail_node(3)
+        pairs = np.array([[0, 5], [1, 6]], dtype=np.int64)
+        ctrl.detour_routes_batch(pairs)
+        ctrl.fail_node(3)  # same node again
+        ctrl.detour_routes_batch(pairs)
+        assert calls == [frozenset({3})]
 
 
 class TestWindowAccounting:

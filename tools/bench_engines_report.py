@@ -22,6 +22,15 @@ Two row kinds:
   checks the merged aggregate is bit-identical.  The speedup scales with
   physical cores; single-core machines report ~1x or below (the workers
   column records what ran).
+* ``driver="detour"`` — the spare-less baseline's two routing backends
+  raced on one workload: per-pair Python BFS (``route_mode="bfs"``, the
+  reference) vs the compiled per-epoch ``RouteTable``
+  (``route_mode="table"``).  The generic (object, batch) columns hold
+  (bfs, table).  ``identical_stats`` here means the *conformance*
+  contract — equal admission/delivery/drop counts and equal hop
+  histograms — not bit-equal latencies (equal-length paths with
+  different tie-breaking contend differently; see
+  ``tests/conformance/``).
 
 The report exits nonzero — naming each offending workload on stderr —
 whenever any row disagrees across engines, so CI can use it as a
@@ -70,11 +79,13 @@ FULL_SUITE = [
     ("engine", "descend", 2, 9, 1, 50_000, []),
     ("controller", "uniform", 2, 8, 2, 20_000, [(5, 40)]),
     ("sweep", "uniform", 2, 9, 1, 40_000, [(0, 40)]),
+    ("detour", "uniform", 2, 8, 1, 20_000, [3, 40]),
 ]
 QUICK_SUITE = [
     ("engine", "uniform", 2, 7, 1, 5_000, []),
     ("controller", "uniform", 2, 6, 1, 4_000, [(3, 9)]),
     ("sweep", "uniform", 2, 7, 1, 4_000, [(0, 9)]),
+    ("detour", "uniform", 2, 6, 1, 3_000, [9]),
 ]
 
 
@@ -168,6 +179,45 @@ def run_sweep_row(pattern, m, h, k, packets, faults, seed=0, workers=None):
     }
 
 
+def run_detour_row(pattern, m, h, k, packets, fault_nodes, seed=0):
+    """Race the detour baseline's BFS reference against the compiled
+    per-epoch route table on one workload (same engine, same traffic);
+    checks the conformance contract (counts + hop histograms), not
+    bit-equal latencies."""
+    from repro.simulator import DetourController
+    from repro.simulator.shard_driver import ShardStats
+
+    n = m ** h
+    pairs = make_pattern(n, pattern, packets, np.random.default_rng(seed))
+    times, stats, hists, unreachable = {}, {}, {}, {}
+    for mode in ("bfs", "table"):
+        ctrl = DetourController(m, h, engine="batch", route_mode=mode)
+        for node in fault_nodes:
+            ctrl.fail_node(int(node))
+        t0 = time.perf_counter()
+        stats[mode] = ctrl.run_workload([pairs.copy()])
+        times[mode] = time.perf_counter() - t0
+        hists[mode] = ShardStats.from_arrays(
+            ctrl.sim.packet_records(), ctrl.sim.cycle
+        )
+        unreachable[mode] = ctrl.unreachable_pairs
+    sb, st_ = stats["bfs"], stats["table"]
+    hb, ht = hists["bfs"], hists["table"]
+    identical = (
+        (sb.injected, sb.delivered, sb.dropped)
+        == (st_.injected, st_.delivered, st_.dropped)
+        and unreachable["bfs"] == unreachable["table"]
+        and np.array_equal(hb.hop_values, ht.hop_values)
+        and np.array_equal(hb.hop_counts, ht.hop_counts)
+    )
+    return times["bfs"], times["table"], st_, identical, int(pairs.shape[0]), {
+        "route_modes": ["bfs", "table"],
+        "unreachable_pairs": unreachable["table"],
+        "bfs_seconds": round(times["bfs"], 4),
+        "table_seconds": round(times["table"], 4),
+    }
+
+
 def run_config(driver, pattern, m, h, k, packets, faults, seed=0, workers=None):
     extra = {}
     if driver == "engine":
@@ -181,6 +231,10 @@ def run_config(driver, pattern, m, h, k, packets, faults, seed=0, workers=None):
     elif driver == "sweep":
         t_obj, t_bat, st, identical, count, extra = run_sweep_row(
             pattern, m, h, k, packets, faults, seed, workers
+        )
+    elif driver == "detour":
+        t_obj, t_bat, st, identical, count, extra = run_detour_row(
+            pattern, m, h, k, packets, faults, seed
         )
     else:
         raise ValueError(f"unknown driver {driver!r}")
@@ -214,8 +268,8 @@ def main(argv=None) -> int:
     for cfg in suite:
         row = run_config(*cfg, workers=args.workers)
         rows.append(row)
-        left = "single" if row["driver"] == "sweep" else "object"
-        right = "sharded" if row["driver"] == "sweep" else "batch"
+        sides = {"sweep": ("single", "sharded"), "detour": ("bfs", "table")}
+        left, right = sides.get(row["driver"], ("object", "batch"))
         print(
             f"{row['driver']:>10} {row['pattern']:>10} "
             f"B^{row['k']}_{{{row['m']},{row['h']}}} {row['packets']:>7} pkts  "
