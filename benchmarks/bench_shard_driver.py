@@ -12,10 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments import ExperimentGrid, ExperimentSpec
 from repro.simulator import (
     ReconfigurationController,
-    Scenario,
-    ScenarioGrid,
     ShardStats,
     make_pattern,
     run_grid,
@@ -24,8 +23,8 @@ from repro.simulator import (
 from benchmarks.conftest import once
 
 
-def _grid() -> ScenarioGrid:
-    return ScenarioGrid(
+def _grid() -> ExperimentGrid:
+    return ExperimentGrid(
         mhk=[(2, 7, 1), (2, 8, 1)],
         patterns=["uniform", "hotspot"],
         loads=[8_000],
@@ -52,8 +51,8 @@ def test_sweep_merge_is_exact(benchmark):
 def test_per_batch_shards_match_sequential_engine(benchmark):
     """A scenario split over 4 batch-shards merges to the bit-identical
     RunStats of one BatchEngine draining the batches sequentially."""
-    sc = Scenario(m=2, h=7, k=1, pattern="uniform", packets=20_000,
-                  batches=4, shards=4, seed=3)
+    sc = ExperimentSpec(m=2, h=7, k=1, pattern="uniform", packets=20_000,
+                        batches=4, shards=4, seed=3)
 
     def both():
         sharded = run_grid([sc], workers=2).results[0].run_stats

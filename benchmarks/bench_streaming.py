@@ -11,10 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments import ExperimentSpec
 from repro.simulator import (
     PoissonSource,
     ReconfigurationController,
-    StreamScenario,
     find_saturation,
     run_stream,
 )
@@ -55,7 +55,8 @@ def test_stream_engines_agree_under_load(benchmark):
 
 def test_saturation_search(benchmark):
     """A full bisected saturation search on B^1_{2,6}."""
-    base = StreamScenario(m=2, h=6, k=1, cycles=800, warmup=150, seed=0)
+    base = ExperimentSpec(m=2, h=6, k=1, loop="stream", cycles=800,
+                          warmup=150, seed=0)
     rates = list(64 * np.array([1 / 16, 1 / 8, 1 / 4, 1 / 2, 1.0]))
 
     res = once(benchmark, find_saturation, base, rates,

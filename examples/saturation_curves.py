@@ -9,8 +9,8 @@ says nothing should change), and the spare-less baseline detouring
 around the dead node.
 
 Run:  PYTHONPATH=src python examples/saturation_curves.py
-CLI:  PYTHONPATH=src python -m repro saturate --mhk 2,6,1 \\
-          --fault-set "" --fault-set "0:11"
+CLI:  save a stream spec JSON and run
+      PYTHONPATH=src python -m repro run spec.json --rates 2,4,8,12,16
 """
 
 from __future__ import annotations
@@ -20,19 +20,22 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.simulator import StreamScenario, find_saturation  # noqa: E402
+from repro.experiments import ExperimentSpec  # noqa: E402
+from repro.simulator import find_saturation  # noqa: E402
 
 M, H, K = 2, 5, 1
 FAULT = ((0, 9),)
 RATES = [2, 4, 8, 12, 16]
 
 machines = {
-    "FT fault-free": StreamScenario(m=M, h=H, k=K, cycles=600, warmup=100),
-    "FT 1 fault (reconfig)": StreamScenario(
-        m=M, h=H, k=K, cycles=600, warmup=100, faults=FAULT
+    "FT fault-free": ExperimentSpec(
+        m=M, h=H, k=K, loop="stream", cycles=600, warmup=100
     ),
-    "bare 1 fault (detours)": StreamScenario(
-        m=M, h=H, k=K, cycles=600, warmup=100, faults=FAULT,
+    "FT 1 fault (reconfig)": ExperimentSpec(
+        m=M, h=H, k=K, loop="stream", cycles=600, warmup=100, faults=FAULT
+    ),
+    "bare 1 fault (detours)": ExperimentSpec(
+        m=M, h=H, k=K, loop="stream", cycles=600, warmup=100, faults=FAULT,
         controller="detour",
     ),
 }

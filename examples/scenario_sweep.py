@@ -2,17 +2,16 @@
 
 The question a dependability study asks: how does delivered traffic and
 latency degrade as faults accumulate, across machine sizes and traffic
-patterns?  Answering it means running a *grid* of independent scenarios
-— exactly what ``ScenarioGrid`` + ``run_grid`` are for.  Every cell runs
-a full ``BatchEngine`` simulation in a worker process; the shard reducer
-merges the per-scenario statistics into one exact aggregate.
+patterns?  Answering it means running a *grid* of independent
+experiments — exactly what ``ExperimentGrid`` + ``run_grid`` are for.
+Every cell runs a full ``BatchEngine`` simulation in a worker process;
+the shard reducer merges the per-cell statistics into one exact
+aggregate.
 
-Equivalent CLI invocation::
+Equivalent CLI invocation: save ``grid.to_dict()`` under a ``"grid"``
+key and hand it to the unified front door::
 
-    python -m repro sweep --mhk 2,6,2 --mhk 2,7,2 \
-        --pattern uniform --pattern hotspot --packets 2000 \
-        --fault-set "" --fault-set "0:9" --fault-set "0:9,40:21" \
-        --seeds 2 --workers 4 --json sweep.json
+    python -m repro run grid.json --workers 4 --json sweep.json
 
 Worker-count selection: one worker per *physical core* (the
 ``workers=None`` default asks ``os.cpu_count()``).  Workers are
@@ -26,11 +25,11 @@ from __future__ import annotations
 
 import os
 
-from repro.simulator import ScenarioGrid, run_grid
+from repro.experiments import ExperimentGrid, run_grid
 
 
 def main() -> None:
-    grid = ScenarioGrid(
+    grid = ExperimentGrid(
         mhk=[(2, 6, 2), (2, 7, 2)],  # k=2 spares cover the two-fault cell
         patterns=["uniform", "hotspot"],
         loads=[2000],
@@ -42,7 +41,7 @@ def main() -> None:
         seeds=[0, 1],
     )
     workers = min(4, os.cpu_count() or 1)
-    print(f"sweeping {len(grid)} scenarios on {workers} worker(s)...")
+    print(f"sweeping {len(grid)} experiments on {workers} worker(s)...")
     result = run_grid(grid, workers=workers)
 
     header = f"{'scenario':<38} {'delivered':>9} {'dropped':>7} " \

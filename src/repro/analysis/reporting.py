@@ -634,9 +634,10 @@ def exp_sealg() -> Report:
 def exp_sweep() -> Report:
     """SWEEP: a reliability-sweep slice on the sharded scenario driver —
     sizes x fault sets x seeds reduced through the exact shard merger."""
-    from repro.simulator.shard_driver import ScenarioGrid, run_grid
+    from repro.experiments import ExperimentGrid
+    from repro.simulator.shard_driver import run_grid
 
-    grid = ScenarioGrid(
+    grid = ExperimentGrid(
         mhk=[(2, 5, 2), (2, 6, 2)],  # k = 2 spares cover the 2-fault cells
         patterns=["uniform"],
         loads=[300],
@@ -679,15 +680,17 @@ def exp_sat() -> Report:
     """SAT: open-loop saturation-throughput curves — the FT machine keeps
     its fault-free saturation point after k faults (zero dilation under
     sustained load); the spare-less detour baseline degrades."""
-    from repro.simulator.streaming import StreamScenario, find_saturation
+    from repro.experiments import ExperimentSpec
+    from repro.simulator.streaming import find_saturation
 
     rates = [4, 8, 12, 14]
-    common = dict(m=2, h=5, k=1, cycles=500, warmup=100, seed=0)
+    common = dict(m=2, h=5, k=1, loop="stream", cycles=500, warmup=100, seed=0)
     machines = [
-        ("FT, no faults", StreamScenario(**common)),
-        ("FT, 1 fault + reconfig", StreamScenario(**common, faults=((0, 9),))),
+        ("FT, no faults", ExperimentSpec(**common)),
+        ("FT, 1 fault + reconfig",
+         ExperimentSpec(**common, faults=((0, 9),))),
         ("bare dB, 1 fault, detours",
-         StreamScenario(**common, faults=((0, 9),), controller="detour")),
+         ExperimentSpec(**common, faults=((0, 9),), controller="detour")),
     ]
     rows, sat = [], {}
     for label, base in machines:

@@ -9,12 +9,14 @@ Commands
 ``demo``          thirty-second tour: construct, fail, reconfigure, verify
 ``bench-engines`` race the object vs. batch simulation engines on one
                   workload and check they agree packet-for-packet
-``sweep``         run a scenario grid (sizes x patterns x fault sets x
-                  seeds) across a multi-process worker pool and reduce
-                  the shards into one exact aggregate
-``saturate``      stream open-loop traffic at a ladder of offered loads,
-                  bisect the saturation point, and emit offered-load vs
-                  delivered-throughput curves per fault scenario
+``run``           execute any experiment spec or grid JSON — closed-loop
+                  workloads, open-loop streams, saturation ladders and
+                  whole saturation surfaces — through one front door
+                  (see :mod:`repro.experiments` and docs/experiments.md)
+``sweep``         deprecated: closed-loop grid sweep by flags (use
+                  ``run`` with a grid JSON)
+``saturate``      deprecated: open-loop rate ladder by flags (use
+                  ``run`` with a stream spec JSON and ``--rates``)
 """
 
 from __future__ import annotations
@@ -211,13 +213,171 @@ def _parse_fault_set(spec: str) -> tuple[tuple[int, int], ...]:
     return tuple(out)
 
 
+def _load_run_input(path: str):
+    """Parse a ``repro run`` JSON file into a spec or grid.
+
+    Accepted shapes: a bare :class:`~repro.experiments.ExperimentSpec`
+    field object, ``{"experiment": {...}}``, or ``{"grid": {...}}`` for
+    an :class:`~repro.experiments.ExperimentGrid`.
+    """
+    import json
+
+    from repro.experiments import ExperimentGrid, ExperimentSpec
+
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ReproError(f"{path}: expected a JSON object")
+    for wrapper, cls in (("grid", ExperimentGrid), ("experiment", ExperimentSpec)):
+        if wrapper in payload:
+            # the wrapper form must wrap *only* — a field that drifted up
+            # to the top level (a misplaced axis, a typo'd sibling) would
+            # otherwise be dropped silently and the run would use defaults
+            extras = sorted(set(payload) - {wrapper})
+            if extras:
+                raise ReproError(
+                    f"{path}: unexpected keys {extras} next to "
+                    f"{wrapper!r} — every field belongs inside the "
+                    f"{wrapper!r} object"
+                )
+            return cls.from_dict(payload[wrapper]), wrapper
+    return ExperimentSpec.from_dict(payload), "experiment"
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.reporting import format_table
+    from repro.experiments import run_grid
+    from repro.simulator.shard_driver import ShardStats
+    from repro.simulator.streaming import find_saturation
+
+    target, kind = _load_run_input(args.spec)
+    rates = [float(x) for x in args.rates.split(",")] if args.rates else None
+    if rates is not None and (kind != "experiment" or target.loop != "stream"):
+        print("error: --rates applies to a single stream experiment "
+              "(use a grid with a `rates` axis for surfaces)", file=sys.stderr)
+        return 2
+
+    if rates is not None:
+        # open-loop saturation ladder: sweep the rates in parallel, then
+        # bracket + bisect the saturation point
+        res = find_saturation(
+            target, rates, bisect=args.bisect, threshold=args.threshold,
+            workers=args.workers,
+        )
+        print(f"{target.label} — offered-load ladder")
+        print(format_table(res.curve()))
+        if res.bracketed:
+            print(f"saturation ~ {res.saturation_rate:.3f} pkt/cycle "
+                  f"(stable {res.stable_rate:.3f}, "
+                  f"unstable {res.unstable_rate:.3f}, "
+                  f"threshold {res.threshold})")
+        else:
+            bound = "lower" if res.stable_rate else "upper"
+            print(f"saturation not bracketed by the rate ladder; "
+                  f"{bound} bound ~ {res.saturation_rate:.3f} pkt/cycle")
+        if args.json:
+            payload = {
+                "experiment": target.to_dict(),
+                "rates": rates,
+                "workers": res.workers,
+                "threshold": res.threshold,
+                "saturation_rate": res.saturation_rate,
+                "stable_rate": res.stable_rate,
+                "unstable_rate": (
+                    None if res.unstable_rate == float("inf")
+                    else res.unstable_rate
+                ),
+                "bracketed": res.bracketed,
+                "points": res.curve(),
+            }
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 0
+
+    specs = [target] if kind == "experiment" else target
+    if kind == "grid":
+        print(f"experiment grid: {len(target)} cells (loop={target.loop})")
+    result = run_grid(specs, workers=args.workers, chunk_size=args.chunk_size)
+    rows = result.rows()
+    closed = [r for r in result.results if isinstance(r.stats, ShardStats)]
+    streamed = [r for r in result.results if not isinstance(r.stats, ShardStats)]
+    if closed:
+        display = [
+            {k: r[k] for k in ("scenario", "cycles", "delivered", "dropped",
+                               "mean_latency", "p95_latency", "seconds")}
+            for r in rows if "throughput" in r
+        ]
+        print(format_table(display))
+        agg = result.aggregate_stats
+        print(f"\naggregate over {len(closed)} closed-loop cell(s): {agg}")
+    if streamed:
+        display = [
+            {k: r[k] for k in ("scenario", "rate", "offered_rate",
+                               "delivered_rate", "delivery_ratio", "backlog",
+                               "seconds")}
+            for r in rows if "delivery_ratio" in r
+        ]
+        print(format_table(display))
+    print(f"wall clock: {result.seconds:.3f} s on {result.workers} worker(s)")
+
+    check_failed = False
+    if args.check_single:
+        single = run_grid(specs, workers=0)
+        identical = all(
+            a.stats == b.stats for a, b in zip(result.results, single.results)
+        )
+        check_failed = not identical
+        print(f"single-process reference: identical stats: {identical}")
+    if args.json:
+        payload = {
+            "kind": kind,
+            kind: target.to_dict(),
+            "workers": result.workers,
+            "seconds": round(result.seconds, 4),
+            "rows": rows,
+        }
+        if closed:
+            agg = result.aggregate_stats
+            payload["aggregate"] = {
+                "cycles": agg.cycles, "injected": agg.injected,
+                "delivered": agg.delivered, "dropped": agg.dropped,
+                "mean_latency": agg.mean_latency,
+                "p95_latency": agg.p95_latency,
+                "max_latency": agg.max_latency,
+                "mean_hops": agg.mean_hops,
+                "throughput": agg.throughput,
+            }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 1 if check_failed else 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import json
     import time
+    import warnings
 
     from repro.analysis.reporting import format_table
     from repro.simulator.shard_driver import ScenarioGrid, run_grid
 
+    # the stderr note is what a terminal user actually sees (Python's
+    # default filters hide DeprecationWarning outside __main__); the
+    # warning is what test suites and -W error catch
+    print("warning: `repro sweep` is deprecated; use `repro run "
+          "<spec.json>` with a grid JSON (see docs/experiments.md)",
+          file=sys.stderr)
+    warnings.warn(
+        "`repro sweep` is deprecated; use `repro run <spec.json>` with a "
+        "grid JSON (see docs/experiments.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     grid = ScenarioGrid(
         mhk=[_parse_mhk(s) for s in (args.mhk or ["2,8,1"])],
         patterns=args.pattern or ["uniform"],
@@ -287,10 +447,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_saturate(args: argparse.Namespace) -> int:
     import json
+    import warnings
 
     from repro.analysis.reporting import format_table
-    from repro.simulator.streaming import StreamScenario, find_saturation
+    from repro.experiments import ExperimentSpec
+    from repro.simulator.streaming import find_saturation
 
+    print("warning: `repro saturate` is deprecated; use `repro run "
+          "<spec.json>` with a stream spec and --rates (see "
+          "docs/experiments.md)", file=sys.stderr)
+    warnings.warn(
+        "`repro saturate` is deprecated; use `repro run <spec.json>` with "
+        "a stream spec and --rates (see docs/experiments.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     m, h, k = _parse_mhk(args.mhk)
     n = m ** h
     if args.rates:
@@ -306,8 +477,9 @@ def _cmd_saturate(args: argparse.Namespace) -> int:
 
     curves = []
     for fs in fault_sets:
-        base = StreamScenario(
-            m=m, h=h, k=k, source=args.source, pattern=args.pattern,
+        base = ExperimentSpec(
+            m=m, h=h, k=k, loop="stream", source=args.source,
+            pattern=args.pattern,
             cycles=args.cycles, warmup=warmup, window=window,
             faults=fs, seed=args.seed, link_capacity=args.capacity,
             controller=args.controller, engine=args.engine,
@@ -413,7 +585,55 @@ def build_parser() -> argparse.ArgumentParser:
     d = sub.add_parser("demo", help="thirty-second tour")
     d.set_defaults(func=_cmd_demo)
 
-    from repro.simulator.traffic import PATTERN_NAMES
+    # live registry views: patterns/sources registered after import
+    # (the documented extension path) must appear in choices= too
+    from repro.simulator.traffic import PATTERNS
+
+    pattern_names = PATTERNS.names()
+
+    rn = sub.add_parser(
+        "run",
+        help="execute an experiment spec or grid JSON (the unified "
+             "front door for closed-loop and open-loop runs)",
+        description="One declarative JSON drives everything: an "
+                    "ExperimentSpec object ({...fields...} or "
+                    "{'experiment': {...}}) runs one closed-loop "
+                    "workload or open-loop stream; {'grid': {...}} "
+                    "expands an ExperimentGrid (sizes x patterns x "
+                    "loads-or-rates x fault sets x seeds) and sweeps it "
+                    "across the multi-process pool — a stream grid with "
+                    "a rates axis is a saturation surface.  With "
+                    "--rates, a stream spec becomes a saturation "
+                    "ladder: the rungs are swept in parallel and the "
+                    "saturation point is bracketed and bisected.  Field "
+                    "names are validated against the backend registries "
+                    "before anything runs; see docs/experiments.md for "
+                    "the schema.",
+    )
+    rn.add_argument("spec", metavar="SPEC.json",
+                    help="path to the experiment/grid JSON file")
+    rn.add_argument("--rates", default=None, metavar="R1,R2,...",
+                    help="stream specs only: evaluate this offered-load "
+                    "ladder and bisect the saturation point instead of "
+                    "running the spec's single rate")
+    rn.add_argument("--bisect", type=int, default=5,
+                    help="bisection refinements after bracketing "
+                    "(with --rates)")
+    rn.add_argument("--threshold", type=float, default=0.95,
+                    help="delivered/offered ratio above which a ladder "
+                    "point counts as stable (with --rates)")
+    rn.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: one per CPU core; "
+                    "0 = run inline)")
+    rn.add_argument("--chunk-size", type=int, default=None,
+                    help="tasks per work-stealing chunk (default: auto)")
+    rn.add_argument("--check-single", action="store_true",
+                    help="also run single-process and verify every "
+                    "cell's stats are bit-identical")
+    rn.add_argument("--json", default=None, metavar="PATH",
+                    help="write rows + aggregate (or the saturation "
+                    "curve) as JSON")
+    rn.set_defaults(func=_cmd_run)
 
     be = sub.add_parser(
         "bench-engines",
@@ -422,7 +642,7 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument("--m", type=int, default=2)
     be.add_argument("--h", type=int, default=8)
     be.add_argument("--k", type=int, default=1)
-    be.add_argument("--pattern", choices=PATTERN_NAMES, default="uniform")
+    be.add_argument("--pattern", choices=pattern_names, default="uniform")
     be.add_argument("--packets", type=int, default=20_000)
     be.add_argument("--batches", type=int, default=1,
                     help="split the workload into this many injection batches")
@@ -435,7 +655,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sw = sub.add_parser(
         "sweep",
-        help="run a scenario grid across a multi-process worker pool",
+        help="deprecated: run a closed-loop scenario grid by flags "
+             "(use `run` with a grid JSON)",
         description="Declarative scenario sweep: the cartesian product of "
                     "--mhk x --pattern x --packets x --fault-set x seeds "
                     "runs across a chunked work-stealing process pool; "
@@ -447,7 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sw.add_argument("--mhk", action="append", default=None, metavar="M,H,K",
                     help="graph size, repeatable (default 2,8,1)")
-    sw.add_argument("--pattern", action="append", choices=PATTERN_NAMES,
+    sw.add_argument("--pattern", action="append", choices=pattern_names,
                     default=None, help="traffic pattern, repeatable")
     sw.add_argument("--packets", action="append", type=int, default=None,
                     help="packets per scenario, repeatable")
@@ -483,12 +704,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write per-scenario rows + aggregate as JSON")
     sw.set_defaults(func=_cmd_sweep)
 
-    from repro.simulator.sources import SOURCE_NAMES
+    from repro.simulator.sources import SOURCES
+
+    source_names = SOURCES.names()
 
     st = sub.add_parser(
         "saturate",
-        help="offered-load vs delivered-throughput curves with a "
-             "bisected saturation point",
+        help="deprecated: offered-load vs delivered-throughput curves "
+             "by flags (use `run` with a stream spec and --rates)",
         description="Open-loop load sweep: a seeded traffic source "
                     "streams arrivals per cycle at each rung of a rate "
                     "ladder (in parallel across worker processes), the "
@@ -500,8 +723,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     st.add_argument("--mhk", default="2,6,1", metavar="M,H,K",
                     help="machine size (default 2,6,1)")
-    st.add_argument("--source", choices=SOURCE_NAMES, default="poisson")
-    st.add_argument("--pattern", choices=PATTERN_NAMES, default="uniform")
+    st.add_argument("--source", choices=source_names, default="poisson")
+    st.add_argument("--pattern", choices=pattern_names, default="uniform")
     st.add_argument("--rates", default=None, metavar="R1,R2,...",
                     help="offered-load ladder in pkt/cycle (default: a "
                     "geometric ladder up to n * capacity)")

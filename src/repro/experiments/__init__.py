@@ -1,0 +1,59 @@
+"""The experiments front door: one declarative spec, registry-driven
+backends, one runner for every loop kind.
+
+This package is the single entry point for describing and executing
+simulation experiments:
+
+* :class:`ExperimentSpec` — one frozen, JSON-round-trippable record
+  describing either a closed-loop workload (inject fixed batches, drain)
+  or an open-loop stream (seeded arrivals at a target rate), selected by
+  ``loop="closed" | "stream"``.
+* :class:`ExperimentGrid` — a declarative sweep (sizes x patterns x
+  loads/rates x fault sets x seeds) that expands to specs; handing a
+  stream grid to :func:`run_grid` executes a saturation *surface*
+  (offered rate x machine size x fault count) as one sharded sweep.
+* :func:`run_grid` — the multi-process executor (re-exported from
+  :mod:`repro.simulator.shard_driver`); accepts specs, grids, and the
+  legacy scenario types alike.
+* The backend registries — :data:`ENGINES`, :data:`CONTROLLERS`,
+  :data:`SOURCES`, :data:`PATTERNS`, :data:`ROUTE_MODES` — where every
+  name a spec can carry is registered by decorator and validated at
+  spec construction.  A new backend (an engine, an arrival process, a
+  routing mode) is one decorated factory; every spec, grid, CLI
+  ``choices=`` list and error message picks it up automatically.
+
+CLI: ``python -m repro run spec.json`` executes any spec or grid JSON.
+The legacy ``Scenario`` / ``StreamScenario`` classes are deprecation
+shims over :class:`ExperimentSpec` and return bit-identical statistics.
+"""
+
+from repro.registry import Registry
+from repro.simulator.engines import ENGINES, make_engine
+from repro.simulator.faults import CONTROLLERS, ROUTE_MODES
+from repro.simulator.sources import SOURCES, make_source
+from repro.simulator.traffic import PATTERNS, make_pattern
+from repro.experiments.spec import (
+    LOOPS,
+    ExperimentGrid,
+    ExperimentResult,
+    ExperimentSpec,
+)
+from repro.simulator.shard_driver import GridResult, run_grid
+
+__all__ = [
+    "Registry",
+    "ENGINES",
+    "CONTROLLERS",
+    "SOURCES",
+    "PATTERNS",
+    "ROUTE_MODES",
+    "LOOPS",
+    "ExperimentGrid",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "GridResult",
+    "run_grid",
+    "make_engine",
+    "make_source",
+    "make_pattern",
+]

@@ -1,0 +1,554 @@
+"""The unified experiment specification: one declarative, serializable
+record that drives every kind of run.
+
+:class:`ExperimentSpec` subsumes the two scenario systems that grew in
+parallel — the closed-loop ``Scenario`` (inject fixed batches, drain to
+completion) and the open-loop ``StreamScenario`` (a seeded arrival
+process at a target rate over a fixed horizon).  One frozen dataclass
+now describes either, selected by ``loop="closed" | "stream"``, with
+
+* **registry-validated fields** — ``pattern``, ``source``, ``engine``,
+  ``controller`` and ``route_mode`` are checked against the live
+  registries (:data:`~repro.simulator.traffic.PATTERNS`,
+  :data:`~repro.simulator.sources.SOURCES`,
+  :data:`~repro.simulator.engines.ENGINES`,
+  :data:`~repro.simulator.faults.CONTROLLERS`,
+  :data:`~repro.simulator.faults.ROUTE_MODES`) at *construction* time,
+  so a typo raises a :class:`~repro.errors.ParameterError` (a
+  ``ValueError`` naming the valid choices) in the process that typed
+  it, never as a ``KeyError`` inside a worker;
+* **exact JSON round-trip** — :meth:`ExperimentSpec.to_json` /
+  :meth:`ExperimentSpec.from_json` reproduce the spec field-for-field
+  (ints stay ints, floats round-trip exactly), so one ``spec.json``
+  file *is* the experiment and published results can state precisely
+  what produced them;
+* **grid expansion** — :class:`ExperimentGrid` declares a sweep (sizes
+  x patterns x loads *or* rates x fault sets x seed replicas) and
+  :meth:`ExperimentGrid.expand` yields concrete specs in a stable
+  documented order; a saturation *surface* (offered rate x machine
+  size x fault count) is one stream-loop grid handed to
+  :func:`repro.simulator.shard_driver.run_grid`.
+
+Running a spec (:meth:`ExperimentSpec.run`) returns an
+:class:`ExperimentResult`: closed-loop runs carry mergeable
+:class:`~repro.simulator.shard_driver.ShardStats`, stream runs carry
+:class:`~repro.simulator.metrics.StreamStats`; the legacy result names
+(``ScenarioResult``, ``StreamPointResult``) are aliases of it.
+
+>>> spec = ExperimentSpec(m=2, h=4, k=1, loop="closed", packets=40)
+>>> ExperimentSpec.from_json(spec.to_json()) == spec
+True
+>>> len(ExperimentGrid(mhk=[(2, 4, 1)], loads=[10, 20], seeds=[0, 1]))
+4
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from dataclasses import dataclass, fields, replace
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.simulator.engines import ENGINES
+from repro.simulator.faults import CONTROLLERS, ROUTE_MODES, FaultScenario
+from repro.simulator.metrics import PacketArrays
+from repro.simulator.shard_driver import ExperimentResult, ShardStats
+from repro.simulator.sources import SOURCES, TrafficSource, make_source
+from repro.simulator.traffic import PATTERNS, make_pattern
+
+__all__ = [
+    "LOOPS",
+    "ExperimentSpec",
+    "ExperimentGrid",
+    "ExperimentResult",
+]
+
+#: The two loop kinds a spec can describe: ``"closed"`` injects fixed
+#: batches and drains them; ``"stream"`` offers open-loop arrivals per
+#: cycle from a seeded source.
+LOOPS = ("closed", "stream")
+
+#: Engines a spec may name: specs execute inside pool workers (a nested
+#: ``"sharded"`` engine would spawn pools-within-pools and has no
+#: packet records to reduce) — grid parallelism comes from the sweep.
+_SPEC_ENGINES = ("object", "batch")
+
+
+def _records_of(sim) -> PacketArrays:
+    """Structure-of-arrays packet records from either in-process engine."""
+    if hasattr(sim, "packet_records"):
+        return sim.packet_records()
+    return PacketArrays.from_packets(sim.packets)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One self-contained experiment: everything a worker process needs
+    to rebuild and run it (pure data — pickles and JSON-serializes by
+    value).
+
+    Shared fields (both loop kinds)
+    -------------------------------
+    ``m, h, k``
+        Machine family/size: the ``B^k_{m,h}`` construction parameters
+        (``k`` spares; the ``detour`` controller runs the bare target
+        graph and ignores ``k``).
+    ``loop``
+        ``"closed"`` or ``"stream"`` — see :data:`LOOPS`.
+    ``pattern``
+        Destination pattern, one of
+        :data:`~repro.simulator.traffic.PATTERNS`.
+    ``controller``
+        Fault strategy, one of
+        :data:`~repro.simulator.faults.CONTROLLERS` (``reconfig`` — the
+        paper's remap, or ``detour`` — the spare-less baseline).
+    ``engine``
+        ``"object"`` or ``"batch"`` (specs run inside pool workers, so
+        the sharded engine is not a cell-level choice).
+    ``route_mode``
+        Detour routing backend, one of
+        :data:`~repro.simulator.faults.ROUTE_MODES`; ignored by
+        ``reconfig``.
+    ``faults``
+        ``(cycle, node)`` pairs.  Closed-loop ``reconfig`` fires them on
+        the honest timeline and ``detour`` at batch boundaries; stream
+        runs fire both exactly on cycle.
+    ``seed, link_capacity``
+        Traffic determinism and per-link bandwidth.
+
+    Closed-loop fields
+    ------------------
+    ``packets, batches, cycles_per_batch, shards, max_cycles`` — the
+    workload size, its injection batching, idle gaps between batches
+    (``reconfig`` only), per-batch sharding across pool tasks, and the
+    drain watchdog.
+
+    Stream fields
+    -------------
+    ``source, rate, cycles, warmup, window, mean_on, mean_off`` — the
+    arrival process (one of :data:`~repro.simulator.sources.SOURCES`)
+    at ``rate`` aggregate packets/cycle over a ``cycles`` horizon, with
+    warmup exclusion and optional per-window series; ``mean_on`` /
+    ``mean_off`` shape the ``onoff`` source's bursts.
+
+    Every field is validated in ``__post_init__`` — registry names
+    against the live registries, cross-field constraints (spare budget,
+    shard preconditions, warmup bounds) with the same messages the
+    legacy classes raised — so an invalid spec never reaches a worker.
+    """
+
+    m: int
+    h: int
+    k: int = 1
+    loop: str = "closed"
+    pattern: str = "uniform"
+    controller: str = "reconfig"
+    engine: str = "batch"
+    route_mode: str = "bfs"
+    faults: tuple[tuple[int, int], ...] = ()
+    seed: int = 0
+    link_capacity: int = 1
+    # closed-loop fields
+    packets: int = 1000
+    batches: int = 1
+    cycles_per_batch: int = 0
+    shards: int = 1
+    max_cycles: int = 1_000_000
+    # stream fields
+    source: str = "poisson"
+    rate: float = 1.0
+    cycles: int = 2000
+    warmup: int = 200
+    window: int = 0
+    mean_on: float = 20.0
+    mean_off: float = 20.0
+
+    def __post_init__(self):
+        ints = ("m", "h", "k", "seed", "link_capacity", "packets", "batches",
+                "cycles_per_batch", "shards", "max_cycles", "cycles",
+                "warmup", "window")
+        for name in ints:
+            object.__setattr__(self, name, int(getattr(self, name)))
+        for name in ("rate", "mean_on", "mean_off"):
+            object.__setattr__(self, name, float(getattr(self, name)))
+        object.__setattr__(
+            self, "faults", tuple((int(c), int(v)) for c, v in self.faults)
+        )
+        if self.loop not in LOOPS:
+            raise ParameterError(
+                f"unknown loop kind {self.loop!r}; valid choices: "
+                f"{', '.join(LOOPS)}"
+            )
+        PATTERNS.validate(self.pattern)
+        CONTROLLERS.validate(self.controller)
+        ROUTE_MODES.validate(self.route_mode)
+        SOURCES.validate(self.source)
+        ENGINES.validate(self.engine)
+        if self.engine not in _SPEC_ENGINES:
+            raise ParameterError(
+                f"ExperimentSpec.engine must be 'object' or 'batch', got "
+                f"{self.engine!r} (specs run inside pool workers; grid "
+                f"parallelism comes from the sweep, and streaming "
+                f"interleaves per-cycle arrivals the sharded engine cannot)"
+            )
+        if self.controller == "reconfig" and len(self.faults) > self.k:
+            # fail at spec time with a readable message instead of a
+            # FaultSetError traceback out of a worker process mid-sweep
+            raise ParameterError(
+                f"scenario schedules {len(self.faults)} faults but "
+                f"B^{self.k}_{{{self.m},{self.h}}} has only {self.k} spares"
+            )
+        if self.loop == "closed":
+            self._validate_closed()
+        else:
+            self._validate_stream()
+
+    def _validate_closed(self) -> None:
+        if self.batches < 1 or self.shards < 1:
+            raise ParameterError("batches and shards must be >= 1")
+        if self.controller == "detour" and self.cycles_per_batch:
+            raise ParameterError(
+                "controller='detour' does not support cycles_per_batch "
+                "(the detour baseline has no idle-gap timeline)"
+            )
+        if self.shards > 1:
+            if self.batches < self.shards:
+                raise ParameterError(
+                    f"shards={self.shards} needs batches >= shards "
+                    f"(got batches={self.batches})"
+                )
+            if self.cycles_per_batch:
+                raise ParameterError(
+                    "per-batch sharding requires cycles_per_batch == 0 "
+                    "(idle gaps couple the batches)"
+                )
+            if any(c != 0 for c, _ in self.faults):
+                raise ParameterError(
+                    "per-batch sharding requires every fault at cycle 0 "
+                    "(mid-run faults couple the batches)"
+                )
+
+    def _validate_stream(self) -> None:
+        if not self.rate > 0:
+            raise ParameterError("rate must be > 0")
+        if not 0 <= self.warmup < self.cycles:
+            raise ParameterError("need 0 <= warmup < cycles")
+        if self.shards != 1:
+            raise ParameterError(
+                "stream specs cannot batch-shard (arrivals interleave); "
+                "parallelism comes from the grid axes"
+            )
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell label (matches the legacy scenario labels,
+        so published sweep rows read the same)."""
+        parts = [f"B^{self.k}_{{{self.m},{self.h}}}"]
+        if self.loop == "stream":
+            parts.append(f"{self.source}({self.rate:g}/cy)")
+            parts.append(self.pattern)
+        else:
+            parts.append(self.pattern)
+            parts.append(f"{self.packets}pkt")
+            parts.append(f"seed{self.seed}")
+        if self.faults:
+            parts.append(f"{len(self.faults)}flt")
+        if self.controller != "reconfig":
+            parts.append(self.controller)
+            if self.route_mode != "bfs":
+                parts.append(self.route_mode)
+        return " ".join(parts)
+
+    def with_rate(self, rate: float) -> "ExperimentSpec":
+        """A copy at a different offered rate (the load-sweep axis)."""
+        return replace(self, rate=float(rate))
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form: every field, tuples as lists."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "faults":
+                value = [list(p) for p in value]
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "ExperimentSpec":
+        """Rebuild from :meth:`to_dict` output (strict: unknown keys
+        raise, naming them, so a typo'd field cannot silently fall back
+        to a default)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(spec) - known
+        if unknown:
+            raise ParameterError(
+                f"unknown ExperimentSpec keys: {sorted(unknown)}; "
+                f"valid keys: {sorted(known)}"
+            )
+        return cls(**spec)
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Exact JSON serialization — ``from_json(to_json(s)) == s``."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- construction of the moving parts -----------------------------------
+
+    def traffic(self) -> np.ndarray:
+        """Closed-loop (src, dst) pairs — deterministic in ``seed``."""
+        n = self.m ** self.h
+        return make_pattern(
+            n, self.pattern, self.packets, np.random.default_rng(self.seed)
+        )
+
+    def injection_batches(self) -> list[np.ndarray]:
+        """The closed-loop workload split into injection batches."""
+        pairs = self.traffic()
+        if self.batches <= 1:
+            return [pairs]
+        return np.array_split(pairs, self.batches)
+
+    def build_source(self) -> TrafficSource:
+        """The stream arrival process — deterministic in ``seed``."""
+        return make_source(
+            self.source, self.m ** self.h, self.rate,
+            pattern=self.pattern, seed=self.seed,
+            mean_on=self.mean_on, mean_off=self.mean_off,
+        )
+
+    def build_controller(self, engine: str | None = None):
+        """Fresh controller (via the :data:`CONTROLLERS` registry) with
+        this spec's faults scheduled on its event clock."""
+        ctrl = CONTROLLERS.get(self.controller)(
+            self.m, self.h, self.k,
+            engine=engine or self.engine,
+            link_capacity=self.link_capacity,
+            route_mode=self.route_mode,
+        )
+        if self.faults:
+            ctrl.schedule(FaultScenario(list(self.faults)))
+        return ctrl
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, batch_slice: slice | None = None) -> "ExperimentResult":
+        """Execute in the current process (workers call this).
+
+        ``batch_slice`` selects a contiguous run of closed-loop
+        injection batches — the per-batch sharding unit; ``None`` runs
+        everything.  Stream specs reject it (arrivals interleave, there
+        is nothing batch-shaped to slice).
+        """
+        if self.loop == "stream":
+            if batch_slice is not None:
+                raise ParameterError(
+                    "batch_slice applies to closed-loop specs only"
+                )
+            return self._run_stream()
+        return self._run_closed(batch_slice)
+
+    def _run_closed(self, batch_slice: slice | None) -> "ExperimentResult":
+        batches = self.injection_batches()
+        if batch_slice is not None:
+            batches = batches[batch_slice]
+        ctrl = self.build_controller()
+        kwargs = {"max_cycles": self.max_cycles}
+        if self.cycles_per_batch:
+            kwargs["cycles_per_batch"] = self.cycles_per_batch
+        t0 = time.perf_counter()
+        ctrl.run_workload(batches, **kwargs)
+        seconds = time.perf_counter() - t0
+        stats = ShardStats.from_arrays(_records_of(ctrl.sim), ctrl.sim.cycle)
+        return ExperimentResult(
+            spec=self,
+            stats=stats,
+            seconds=seconds,
+            lost_to_faults=getattr(ctrl, "lost_to_faults", 0),
+            unreachable_pairs=getattr(ctrl, "unreachable_pairs", 0),
+        )
+
+    def _run_stream(self) -> "ExperimentResult":
+        from repro.simulator.streaming import run_stream
+
+        ctrl = self.build_controller()
+        src = self.build_source()
+        t0 = time.perf_counter()
+        stats = run_stream(
+            ctrl, src, cycles=self.cycles, warmup=self.warmup,
+            window=self.window,
+        )
+        return ExperimentResult(
+            spec=self,
+            stats=stats,
+            seconds=time.perf_counter() - t0,
+            lost_to_faults=getattr(ctrl, "lost_to_faults", 0),
+            unreachable_pairs=getattr(ctrl, "unreachable_pairs", 0),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """Declarative sweep over :class:`ExperimentSpec` cells: the
+    cartesian product of every axis, expanded in a stable documented
+    order.
+
+    Axes (in product order): ``mhk`` x ``patterns`` x (``loads`` for
+    closed loops / ``rates`` for stream loops) x ``fault_sets`` x
+    ``seeds``.  Every other field is a scalar applied to each cell.
+    A stream grid with several sizes, rates and fault sets *is* a
+    saturation surface, and :func:`repro.simulator.shard_driver.run_grid`
+    executes the whole thing as one sharded sweep.
+
+    >>> grid = ExperimentGrid(mhk=[(2, 4, 1)], loop="stream",
+    ...                       rates=[1.0, 4.0], fault_sets=[(), ((0, 3),)])
+    >>> len(grid)
+    4
+    >>> [s.rate for s in grid.expand()]
+    [1.0, 1.0, 4.0, 4.0]
+    """
+
+    mhk: tuple[tuple[int, int, int], ...]
+    loop: str = "closed"
+    patterns: tuple[str, ...] = ("uniform",)
+    loads: tuple[int, ...] = (1000,)
+    rates: tuple[float, ...] = ()
+    fault_sets: tuple[tuple[tuple[int, int], ...], ...] = ((),)
+    seeds: tuple[int, ...] = (0,)
+    controller: str = "reconfig"
+    engine: str = "batch"
+    route_mode: str = "bfs"
+    link_capacity: int = 1
+    # closed-loop scalars
+    batches: int = 1
+    cycles_per_batch: int = 0
+    shards: int = 1
+    max_cycles: int = 1_000_000
+    # stream scalars
+    source: str = "poisson"
+    cycles: int = 2000
+    warmup: int = 200
+    window: int = 0
+    mean_on: float = 20.0
+    mean_off: float = 20.0
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "mhk", tuple((int(m), int(h), int(k)) for m, h, k in self.mhk)
+        )
+        object.__setattr__(self, "patterns", tuple(self.patterns))
+        object.__setattr__(self, "loads", tuple(int(p) for p in self.loads))
+        object.__setattr__(self, "rates", tuple(float(r) for r in self.rates))
+        object.__setattr__(
+            self,
+            "fault_sets",
+            tuple(
+                tuple((int(c), int(v)) for c, v in fs) for fs in self.fault_sets
+            ),
+        )
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if not self.mhk:
+            raise ParameterError("ExperimentGrid needs at least one (m, h, k)")
+        if self.loop not in LOOPS:
+            raise ParameterError(
+                f"unknown loop kind {self.loop!r}; valid choices: "
+                f"{', '.join(LOOPS)}"
+            )
+        if self.loop == "stream" and not self.rates:
+            raise ParameterError(
+                "a stream grid needs at least one offered rate (rates=[...])"
+            )
+        if self.loop == "closed" and self.rates:
+            raise ParameterError(
+                "rates is a stream-loop axis; closed grids sweep loads"
+            )
+        # expanding runs every cell through ExperimentSpec validation, so
+        # bad names and cross-field mistakes raise at grid construction,
+        # not mid-sweep out of a worker process
+        self.expand()
+
+    def _varying(self) -> tuple:
+        return self.rates if self.loop == "stream" else self.loads
+
+    def __len__(self) -> int:
+        return (
+            len(self.mhk) * len(self.patterns) * len(self._varying())
+            * len(self.fault_sets) * len(self.seeds)
+        )
+
+    def expand(self) -> list[ExperimentSpec]:
+        """The grid's concrete :class:`ExperimentSpec` cells, in the
+        documented product order (seeds vary fastest, sizes slowest)."""
+        shared = dict(
+            loop=self.loop,
+            controller=self.controller,
+            engine=self.engine,
+            route_mode=self.route_mode,
+            link_capacity=self.link_capacity,
+            batches=self.batches,
+            cycles_per_batch=self.cycles_per_batch,
+            shards=self.shards,
+            max_cycles=self.max_cycles,
+            source=self.source,
+            cycles=self.cycles,
+            warmup=self.warmup,
+            window=self.window,
+            mean_on=self.mean_on,
+            mean_off=self.mean_off,
+        )
+        out = []
+        for (m, h, k), pattern, var, faults, seed in itertools.product(
+            self.mhk, self.patterns, self._varying(), self.fault_sets,
+            self.seeds,
+        ):
+            load = {"rate": var} if self.loop == "stream" else {"packets": var}
+            out.append(
+                ExperimentSpec(
+                    m=m, h=h, k=k, pattern=pattern, faults=faults, seed=seed,
+                    **load, **shared,
+                )
+            )
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (the ``repro run`` CLI round-trips grids
+        through this)."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "mhk":
+                value = [list(t) for t in value]
+            elif f.name == "fault_sets":
+                value = [[list(p) for p in fs] for fs in value]
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "ExperimentGrid":
+        known = {f.name for f in fields(cls)}
+        unknown = set(spec) - known
+        if unknown:
+            raise ParameterError(
+                f"unknown ExperimentGrid keys: {sorted(unknown)}; "
+                f"valid keys: {sorted(known)}"
+            )
+        return cls(**spec)
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Exact JSON serialization — ``from_json(to_json(g)) == g``."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentGrid":
+        return cls.from_dict(json.loads(text))

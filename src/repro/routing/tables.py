@@ -21,7 +21,6 @@ import numpy as np
 
 from repro.errors import RoutingError
 from repro.graphs.static_graph import StaticGraph
-from repro.routing.shortest_path import bfs_parents
 
 __all__ = [
     "UNREACHABLE",
@@ -47,11 +46,55 @@ def compile_routing_table(g: StaticGraph) -> np.ndarray:
 
     For destination ``d``, the BFS parent of ``v`` in the tree rooted at
     ``d`` *is* the hop-optimal next hop (the graph is undirected).
+
+    Each per-destination BFS is frontier-at-a-time over the CSR arrays
+    (the :func:`repro.graphs.properties.bfs_distances` idiom): one
+    vectorized gather expands the whole frontier, so the per-epoch
+    detour-table compile is O(levels) NumPy passes per destination
+    instead of a Python loop per node — the hot path when every fault
+    epoch recompiles a survivor table on a big machine.
+
+    Parent tie-breaking: when several frontier nodes reach an unclaimed
+    node in the same level, the winner is the first in the concatenated
+    gather (frontier in ascending node order, neighbors in CSR order).
+    Any winner is hop-optimal — the whole frontier sits at the same BFS
+    level — but equal-length *paths* may differ from the scalar
+    discovery-order BFS in :func:`~repro.routing.shortest_path.bfs_parents`,
+    which is why the conformance suite (``tests/conformance/``) pins
+    hop-count + validity equivalence rather than path equality, and the
+    golden files pin this compiler's concrete choices.
     """
     n = g.node_count
     table = np.full((n, n), UNREACHABLE, dtype=np.int64)
+    indptr, indices = g.indptr, g.indices
+    deg = np.diff(indptr)
     for d in range(n):
-        parent = bfs_parents(g, d)
+        parent = np.full(n, -1, dtype=np.int64)
+        parent[d] = d
+        frontier = np.array([d], dtype=np.int64)
+        while frontier.size:
+            counts = deg[frontier]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            # gather every frontier node's neighbor slice in one shot:
+            # base[i] repeats the slice start, inner[i] counts 0..c-1
+            # within each slice
+            starts = indptr[frontier]
+            base = np.repeat(starts, counts)
+            ends = np.cumsum(counts)
+            inner = np.arange(total, dtype=np.int64) - np.repeat(
+                ends - counts, counts
+            )
+            nbrs = indices[base + inner]
+            owners = np.repeat(frontier, counts)
+            fresh = parent[nbrs] == -1
+            if not fresh.any():
+                break
+            nbrs, owners = nbrs[fresh], owners[fresh]
+            # first occurrence in gather order claims the parent
+            frontier, first = np.unique(nbrs, return_index=True)
+            parent[frontier] = owners[first]
         reachable = parent >= 0
         table[reachable, d] = parent[reachable]
         table[d, d] = d

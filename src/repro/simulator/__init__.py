@@ -57,12 +57,16 @@ from repro.simulator.traffic import (
     transpose_traffic,
     uniform_traffic,
 )
+from repro.simulator.engines import ENGINES, make_engine
 from repro.simulator.faults import (
+    CONTROLLERS,
+    ROUTE_MODES,
     DetourController,
     FaultScenario,
     ReconfigurationController,
 )
 from repro.simulator.shard_driver import (
+    ExperimentResult,
     GridResult,
     Scenario,
     ScenarioGrid,
@@ -131,6 +135,11 @@ __all__ = [
     "DetourController",
     "FaultScenario",
     "ReconfigurationController",
+    "ENGINES",
+    "CONTROLLERS",
+    "ROUTE_MODES",
+    "make_engine",
+    "ExperimentResult",
     "GridResult",
     "Scenario",
     "ScenarioGrid",

@@ -36,34 +36,36 @@ from repro.core.debruijn import debruijn
 from repro.core.fault_tolerant import ft_debruijn
 from repro.core.reconfiguration import Reconfigurator
 from repro.errors import RoutingError, SimulationError
+from repro.registry import Registry
 from repro.routing.fault_routing import (
     detour_route,
     lifted_routes_batch,
     survivor_route_table,
 )
 from repro.routing.shift_register import shift_route
-from repro.simulator.batch_engine import BatchEngine, pack_routes
+from repro.simulator.batch_engine import pack_routes
+from repro.simulator.engines import make_engine
 from repro.simulator.events import EventQueue
 from repro.simulator.metrics import RunStats
-from repro.simulator.network import NetworkSimulator
 
-__all__ = ["FaultScenario", "ReconfigurationController", "DetourController"]
+__all__ = [
+    "CONTROLLERS",
+    "ROUTE_MODES",
+    "FaultScenario",
+    "ReconfigurationController",
+    "DetourController",
+]
 
-_ENGINES = ("object", "batch", "sharded")
-_ROUTE_MODES = ("bfs", "table")
+#: Registry of fault-controller builders with the uniform signature
+#: ``(m, h, k, *, engine, link_capacity, route_mode, workers) -> controller``
+#: — the experiment spec layer builds controllers through it, and a new
+#: strategy (a different spare layout, an adaptive router) registers here
+#: instead of growing another string switch.
+CONTROLLERS = Registry("controller")
 
-
-def _make_engine(engine: str, graph, link_capacity: int, workers=None):
-    if engine == "object":
-        return NetworkSimulator(graph, link_capacity)
-    if engine == "batch":
-        return BatchEngine(graph, link_capacity)
-    if engine == "sharded":
-        # local import: shard_driver imports the controllers for its workers
-        from repro.simulator.shard_driver import ShardedEngine
-
-        return ShardedEngine(graph, link_capacity, workers=workers)
-    raise SimulationError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+#: Registry of the detour baseline's routing backends:
+#: ``name -> (controller, pairs) -> (flat, offsets, kept)``.
+ROUTE_MODES = Registry("route_mode")
 
 
 @dataclass
@@ -116,7 +118,7 @@ class ReconfigurationController:
         self.ft = ft_debruijn(m, h, k)
         self.rec = Reconfigurator(self.ft.node_count, self.target.node_count)
         self.engine = engine
-        self.sim = _make_engine(engine, self.ft, link_capacity, workers)
+        self.sim = make_engine(engine, self.ft, link_capacity, workers)
         self.events = EventQueue()
         self.lost_to_faults = 0
         self.fault_log: list[tuple[int, int]] = []
@@ -284,16 +286,11 @@ class DetourController:
     def __init__(self, m: int, h: int, *, engine: str = "object",
                  link_capacity: int = 1, workers: int | None = None,
                  route_mode: str = "bfs"):
-        if route_mode not in _ROUTE_MODES:
-            raise SimulationError(
-                f"unknown route_mode {route_mode!r}; expected one of "
-                f"{_ROUTE_MODES}"
-            )
         self.m, self.h = int(m), int(h)
         self.target = debruijn(m, h)
         self.engine = engine
-        self.route_mode = route_mode
-        self.sim = _make_engine(engine, self.target, link_capacity, workers)
+        self.route_mode = ROUTE_MODES.validate(route_mode)
+        self.sim = make_engine(engine, self.target, link_capacity, workers)
         self.faults: set[int] = set()
         self.unreachable_pairs = 0
         self.lost_to_faults = 0
@@ -362,10 +359,7 @@ class DetourController:
         ``record=False`` and accounts per injected epoch instead, so a
         mid-stream re-route of the same tail never double-counts."""
         pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
-        if self.route_mode == "table":
-            flat, offsets, kept = self._table_routes(pairs)
-        else:
-            flat, offsets, kept = self._bfs_routes(pairs)
+        flat, offsets, kept = ROUTE_MODES.get(self.route_mode)(self, pairs)
         if record:
             self.unreachable_pairs += int(pairs.shape[0] - kept.size)
         return flat, offsets, kept
@@ -423,3 +417,32 @@ class DetourController:
             self.sim.run(max_cycles)
         self.fire_due_events()
         return self.sim.stats()
+
+
+# ---------------------------------------------------------------------------
+# registry entries: route modes and controller builders
+# ---------------------------------------------------------------------------
+
+ROUTE_MODES.register("bfs")(DetourController._bfs_routes)
+ROUTE_MODES.register("table")(DetourController._table_routes)
+
+
+@CONTROLLERS.register("reconfig")
+def _build_reconfig(m, h, k, *, engine="batch", link_capacity=1,
+                    route_mode="bfs", workers=None):
+    """The paper's machine: ``B^k_{m,h}`` + monotone remap (``route_mode``
+    does not apply — reconfigured routes are lifted shift-register paths)."""
+    return ReconfigurationController(
+        m, h, k, engine=engine, link_capacity=link_capacity, workers=workers
+    )
+
+
+@CONTROLLERS.register("detour")
+def _build_detour(m, h, k, *, engine="batch", link_capacity=1,
+                  route_mode="bfs", workers=None):
+    """The spare-less baseline on the bare target graph (``k`` does not
+    apply — there are no spares to configure)."""
+    return DetourController(
+        m, h, engine=engine, link_capacity=link_capacity,
+        route_mode=route_mode, workers=workers,
+    )

@@ -5,15 +5,19 @@ millions of packets across many fault scenarios — and a single process
 is the wall right after vectorization.  This module partitions
 *independent* workloads across a pool of worker processes:
 
-* **per scenario** — every cell of a :class:`ScenarioGrid` (a declarative
-  sweep over ``(m, h, k)``, fault sets, traffic patterns, loads and seed
-  replicas) is an independent simulation;
+* **per experiment** — every cell of an
+  :class:`~repro.experiments.ExperimentGrid` (a declarative sweep over
+  ``(m, h, k)``, fault sets, traffic patterns, loads *or* offered rates,
+  and seed replicas) is an independent simulation — closed-loop drains
+  and open-loop streams alike, so a saturation surface (rate x size x
+  faults) runs as one sweep;
 * **per seed** — replicas are just another grid axis;
-* **per batch** — one scenario's injection batches are independent too,
-  because the engines fully drain between batches: batch ``i + 1`` starts
-  on an empty network, so simulating each batch in a fresh engine and
-  merging the records is *bit-identical* to draining them sequentially in
-  one engine (see :class:`ShardStats` for why the merge is exact).
+* **per batch** — one closed-loop experiment's injection batches are
+  independent too, because the engines fully drain between batches:
+  batch ``i + 1`` starts on an empty network, so simulating each batch
+  in a fresh engine and merging the records is *bit-identical* to
+  draining them sequentially in one engine (see :class:`ShardStats` for
+  why the merge is exact).
 
 Results come back as :class:`ShardStats` — a mergeable, pickle-friendly
 twin of :class:`RunStats` that carries exact counts plus latency/hop
@@ -30,10 +34,20 @@ scenarios are tiny and plentiful.
 
 Entry points
 ------------
-:func:`run_grid`           sweep a :class:`ScenarioGrid` across workers
+:func:`run_grid`           sweep specs/grids across workers (accepts
+                           :class:`~repro.experiments.ExperimentGrid`,
+                           :class:`~repro.experiments.ExperimentSpec`
+                           lists, and the legacy scenario types)
 :class:`ShardDriver`       the generic chunked work-stealing pool
 :class:`ShardedEngine`     ``engine="sharded"`` for the fault controllers
 :class:`ShardStats`        the mergeable statistics record
+:class:`ExperimentResult`  one executed spec's outcome (the legacy
+                           ``ScenarioResult``/``StreamPointResult``
+                           names alias it)
+
+The legacy :class:`Scenario` dataclass remains as a deprecation shim
+that builds an :class:`~repro.experiments.ExperimentSpec` internally and
+returns bit-identical statistics.
 
 Picking a worker count
 ----------------------
@@ -50,6 +64,7 @@ import itertools
 import os
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Sequence
 
@@ -59,10 +74,10 @@ from repro.errors import ParameterError, SimulationError
 from repro.graphs.static_graph import StaticGraph
 from repro.simulator.batch_engine import BatchEngine, validate_injection
 from repro.simulator.metrics import PacketArrays, RunStats
-from repro.simulator.traffic import PATTERN_NAMES
 
 __all__ = [
     "ShardStats",
+    "ExperimentResult",
     "Scenario",
     "ScenarioGrid",
     "ScenarioResult",
@@ -73,9 +88,6 @@ __all__ = [
 ]
 
 _I64 = np.int64
-
-_CONTROLLERS = ("reconfig", "detour")
-_ROUTE_MODES = ("bfs", "table")
 
 
 # ---------------------------------------------------------------------------
@@ -231,28 +243,119 @@ def _records_of(sim) -> PacketArrays:
 
 
 # ---------------------------------------------------------------------------
-# scenario specification
+# experiment results and the legacy Scenario shim
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
+class ExperimentResult:
+    """One executed :class:`~repro.experiments.ExperimentSpec`'s outcome
+    (or one closed-loop batch-shard of it).
+
+    ``stats`` is loop-shaped: closed-loop runs carry mergeable
+    :class:`ShardStats` (so shards of one spec reduce exactly — see
+    :meth:`merged_with`), stream runs carry
+    :class:`~repro.simulator.metrics.StreamStats`.  The legacy names
+    ``ScenarioResult`` and ``StreamPointResult`` are aliases of this
+    class, and :attr:`scenario` aliases :attr:`spec`, so existing call
+    sites keep reading.
+    """
+
+    spec: "object"          # ExperimentSpec (kept untyped: layering)
+    stats: "ShardStats | object"
+    seconds: float
+    lost_to_faults: int = 0
+    unreachable_pairs: int = 0
+
+    @property
+    def scenario(self):
+        """Legacy-name alias of :attr:`spec`."""
+        return self.spec
+
+    @property
+    def run_stats(self) -> RunStats:
+        """Closed-loop :class:`~repro.simulator.metrics.RunStats` (the
+        single-process numbers, bit-identical by the :class:`ShardStats`
+        contract)."""
+        if not isinstance(self.stats, ShardStats):
+            raise ParameterError(
+                "run_stats applies to closed-loop results; stream results "
+                "carry StreamStats in .stats"
+            )
+        return self.stats.to_run_stats()
+
+    def stable(self, threshold: float) -> bool:
+        """Stream loop: is the point below saturation? — delivered keeps
+        up with offered (``delivery_ratio >= threshold``)."""
+        return self.stats.delivery_ratio >= threshold
+
+    def merged_with(self, others: Sequence["ExperimentResult"]) -> "ExperimentResult":
+        """Fold closed-loop shard results of the *same* spec into one
+        record (exact — see :class:`ShardStats`).  With nothing to fold
+        the record passes through unchanged (stream results are never
+        sharded, so they only ever take this path)."""
+        if not others:
+            return self
+        parts = [self, *others]
+        return ExperimentResult(
+            spec=self.spec,
+            stats=ShardStats.merge(p.stats for p in parts),
+            seconds=sum(p.seconds for p in parts),
+            lost_to_faults=sum(p.lost_to_faults for p in parts),
+            unreachable_pairs=sum(p.unreachable_pairs for p in parts),
+        )
+
+    def row(self) -> dict:
+        """JSON-friendly summary row, loop-shaped to match the rows the
+        legacy paths published (sweep rows for closed loops,
+        saturation-curve rows for stream points)."""
+        if isinstance(self.stats, ShardStats):
+            sc, st = self.spec, self.run_stats
+            return {
+                "scenario": sc.label,
+                "m": sc.m, "h": sc.h, "k": sc.k,
+                "pattern": sc.pattern, "packets": sc.packets,
+                "faults": [list(f) for f in sc.faults],
+                "seed": sc.seed,
+                "controller": sc.controller,
+                "engine": sc.engine,
+                "route_mode": sc.route_mode,
+                "cycles": st.cycles,
+                "delivered": st.delivered,
+                "dropped": st.dropped,
+                "mean_latency": round(st.mean_latency, 4),
+                "p95_latency": round(st.p95_latency, 4),
+                "throughput": round(st.throughput, 4),
+                "seconds": round(self.seconds, 4),
+            }
+        s = self.stats
+        return {
+            "rate": self.spec.rate,
+            "offered_rate": round(s.offered_rate, 4),
+            "delivered_rate": round(s.delivered_rate, 4),
+            "delivery_ratio": round(s.delivery_ratio, 4),
+            "mean_latency": round(s.mean_latency, 4),
+            "p95_latency": round(s.p95_latency, 4),
+            "backlog": s.final_occupancy,
+            "dropped": s.dropped,
+            "unadmitted": s.unadmitted,
+            "seconds": round(self.seconds, 4),
+        }
+
+
+#: Legacy alias — scenario-era call sites keep importing this name.
+ScenarioResult = ExperimentResult
+
+
+@dataclass(frozen=True)
 class Scenario:
-    """One self-contained simulation: everything a worker process needs
-    to rebuild and run it (pure data — pickles by value).
+    """Deprecated: the closed-loop scenario record, now a thin shim over
+    :class:`repro.experiments.ExperimentSpec`.
 
-    ``faults`` are ``(cycle, node)`` pairs.  The ``reconfig`` controller
-    fires them on the honest timeline; the ``detour`` baseline fires
-    them at batch boundaries (its drains are whole batches).
-
-    ``route_mode`` selects the ``detour`` baseline's routing backend —
-    ``"bfs"`` per-pair reference or ``"table"`` compiled once per fault
-    epoch (see :class:`~repro.simulator.faults.DetourController`); the
-    ``reconfig`` controller ignores it.
-
-    ``shards > 1`` splits the scenario's injection batches across that
-    many independent tasks.  Because engines fully drain between batches,
-    the merged result is bit-identical to the sequential run — but only
-    when nothing couples the batches, so it requires ``batches >= shards``,
-    ``cycles_per_batch == 0`` and every fault at cycle 0 (checked here).
+    Constructing one emits a :class:`DeprecationWarning` and builds the
+    equivalent spec (``loop="closed"``) internally — same fields, same
+    validation, and :meth:`run` returns bit-identical statistics, so
+    existing call sites keep working while they migrate.  New code
+    should construct ``ExperimentSpec(loop="closed", ...)`` directly.
     """
 
     m: int
@@ -272,182 +375,68 @@ class Scenario:
     max_cycles: int = 1_000_000
 
     def __post_init__(self):
-        if self.pattern not in PATTERN_NAMES:
-            raise ParameterError(
-                f"unknown traffic pattern {self.pattern!r}; "
-                f"expected one of {PATTERN_NAMES}"
-            )
-        if self.controller not in _CONTROLLERS:
-            raise ParameterError(
-                f"unknown controller {self.controller!r}; "
-                f"expected one of {_CONTROLLERS}"
-            )
-        if self.engine not in ("object", "batch"):
-            # scenarios already run inside pool workers; a nested sharded
-            # engine would spawn pools-within-pools (and has no
-            # packet_records to reduce) — parallelism comes from the grid
-            raise ParameterError(
-                f"Scenario.engine must be 'object' or 'batch', got "
-                f"{self.engine!r}"
-            )
-        if self.route_mode not in _ROUTE_MODES:
-            raise ParameterError(
-                f"unknown route_mode {self.route_mode!r}; "
-                f"expected one of {_ROUTE_MODES}"
-            )
-        if self.batches < 1 or self.shards < 1:
-            raise ParameterError("batches and shards must be >= 1")
-        if self.controller == "detour" and self.cycles_per_batch:
-            raise ParameterError(
-                "controller='detour' does not support cycles_per_batch "
-                "(the detour baseline has no idle-gap timeline)"
-            )
         object.__setattr__(
             self,
             "faults",
             tuple((int(c), int(v)) for c, v in self.faults),
         )
-        if self.controller == "reconfig" and len(self.faults) > self.k:
-            # fail at spec time with a readable message instead of a
-            # FaultSetError traceback out of a worker process mid-sweep
-            raise ParameterError(
-                f"scenario schedules {len(self.faults)} faults but "
-                f"B^{self.k}_{{{self.m},{self.h}}} has only {self.k} spares"
-            )
-        if self.shards > 1:
-            if self.batches < self.shards:
-                raise ParameterError(
-                    f"shards={self.shards} needs batches >= shards "
-                    f"(got batches={self.batches})"
-                )
-            if self.cycles_per_batch:
-                raise ParameterError(
-                    "per-batch sharding requires cycles_per_batch == 0 "
-                    "(idle gaps couple the batches)"
-                )
-            if any(c != 0 for c, _ in self.faults):
-                raise ParameterError(
-                    "per-batch sharding requires every fault at cycle 0 "
-                    "(mid-run faults couple the batches)"
-                )
+        # validation lives in the spec; an invalid Scenario raises the
+        # same ParameterError the spec would (before the deprecation
+        # warning, so error-path callers see no noise)
+        object.__setattr__(self, "_spec", self.to_spec())
+        warnings.warn(
+            "Scenario is deprecated; use "
+            "repro.experiments.ExperimentSpec(loop='closed', ...) — same "
+            "fields, exact JSON round-trip, and `repro run` support",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def to_spec(self):
+        """The equivalent :class:`~repro.experiments.ExperimentSpec`."""
+        from repro.experiments.spec import ExperimentSpec
+
+        return ExperimentSpec(
+            m=self.m, h=self.h, k=self.k, loop="closed",
+            pattern=self.pattern, packets=self.packets, faults=self.faults,
+            seed=self.seed, link_capacity=self.link_capacity,
+            batches=self.batches, cycles_per_batch=self.cycles_per_batch,
+            controller=self.controller, engine=self.engine,
+            route_mode=self.route_mode, shards=self.shards,
+            max_cycles=self.max_cycles,
+        )
 
     @property
     def label(self) -> str:
-        parts = [
-            f"B^{self.k}_{{{self.m},{self.h}}}",
-            self.pattern,
-            f"{self.packets}pkt",
-            f"seed{self.seed}",
-        ]
-        if self.faults:
-            parts.append(f"{len(self.faults)}flt")
-        if self.controller != "reconfig":
-            parts.append(self.controller)
-            if self.route_mode != "bfs":
-                parts.append(self.route_mode)
-        return " ".join(parts)
+        return self._spec.label
 
     def traffic(self) -> np.ndarray:
         """The scenario's (src, dst) pairs — deterministic in ``seed``."""
-        from repro.simulator.traffic import make_pattern
-
-        n = self.m ** self.h
-        return make_pattern(
-            n, self.pattern, self.packets, np.random.default_rng(self.seed)
-        )
+        return self._spec.traffic()
 
     def injection_batches(self) -> list[np.ndarray]:
-        pairs = self.traffic()
-        if self.batches <= 1:
-            return [pairs]
-        return np.array_split(pairs, self.batches)
+        return self._spec.injection_batches()
 
     def build_controller(self, engine: str | None = None):
         """Fresh controller with this scenario's faults wired in."""
-        from repro.simulator.faults import (
-            DetourController,
-            FaultScenario,
-            ReconfigurationController,
-        )
+        return self._spec.build_controller(engine)
 
-        engine = engine or self.engine
-        if self.controller == "detour":
-            ctrl = DetourController(
-                self.m, self.h, engine=engine,
-                link_capacity=self.link_capacity,
-                route_mode=self.route_mode,
-            )
-            if self.faults:
-                ctrl.schedule(FaultScenario(list(self.faults)))
-            return ctrl
-        ctrl = ReconfigurationController(
-            self.m, self.h, self.k, engine=engine,
-            link_capacity=self.link_capacity,
-        )
-        if self.faults:
-            ctrl.schedule(FaultScenario(list(self.faults)))
-        return ctrl
-
-    def run(self, batch_slice: slice | None = None) -> "ScenarioResult":
-        """Run (a shard of) this scenario in the current process.
-
-        ``batch_slice`` selects a contiguous run of injection batches —
-        the per-batch sharding unit.  ``None`` runs everything.
-        """
-        batches = self.injection_batches()
-        if batch_slice is not None:
-            batches = batches[batch_slice]
-        ctrl = self.build_controller()
-        t0 = time.perf_counter()
-        if self.controller == "detour":
-            ctrl.run_workload(batches, max_cycles=self.max_cycles)
-        else:
-            ctrl.run_workload(
-                batches,
-                cycles_per_batch=self.cycles_per_batch,
-                max_cycles=self.max_cycles,
-            )
-        seconds = time.perf_counter() - t0
-        stats = ShardStats.from_arrays(_records_of(ctrl.sim), ctrl.sim.cycle)
-        return ScenarioResult(
-            scenario=self,
-            stats=stats,
-            seconds=seconds,
-            lost_to_faults=getattr(ctrl, "lost_to_faults", 0),
-            unreachable_pairs=getattr(ctrl, "unreachable_pairs", 0),
-        )
-
-
-@dataclass(frozen=True)
-class ScenarioResult:
-    """One scenario's (or scenario shard's) outcome."""
-
-    scenario: Scenario
-    stats: ShardStats
-    seconds: float
-    lost_to_faults: int = 0
-    unreachable_pairs: int = 0
-
-    @property
-    def run_stats(self) -> RunStats:
-        return self.stats.to_run_stats()
-
-    def merged_with(self, others: Sequence["ScenarioResult"]) -> "ScenarioResult":
-        """Fold shard results of the *same* scenario into one record."""
-        parts = [self, *others]
-        return ScenarioResult(
-            scenario=self.scenario,
-            stats=ShardStats.merge(p.stats for p in parts),
-            seconds=sum(p.seconds for p in parts),
-            lost_to_faults=sum(p.lost_to_faults for p in parts),
-            unreachable_pairs=sum(p.unreachable_pairs for p in parts),
-        )
+    def run(self, batch_slice: slice | None = None) -> "ExperimentResult":
+        """Run (a shard of) this scenario in the current process —
+        delegates to the spec; the result's ``scenario`` attribute holds
+        the spec."""
+        return self._spec.run(batch_slice)
 
 
 @dataclass(frozen=True)
 class ScenarioGrid:
-    """Declarative sweep specification: the cartesian product of every
-    axis, expanded in a stable documented order.
+    """Declarative closed-loop sweep specification: the cartesian product
+    of every axis, expanded in a stable documented order.
+
+    Superseded by :class:`repro.experiments.ExperimentGrid` (which adds
+    the stream loop and an offered-rate axis); this class remains as a
+    compatible front end — :func:`run_grid` converts it via
+    :meth:`to_experiment_grid`, and every number comes out bit-identical.
 
     Axes (in product order): ``mhk`` x ``patterns`` x ``loads`` x
     ``fault_sets`` x ``seeds``.  Scalars (``link_capacity``, ``batches``,
@@ -498,8 +487,24 @@ class ScenarioGrid:
             * len(self.fault_sets) * len(self.seeds)
         )
 
+    def to_experiment_grid(self):
+        """The equivalent :class:`~repro.experiments.ExperimentGrid`
+        (``loop="closed"``) — the form :func:`run_grid` executes."""
+        from repro.experiments.spec import ExperimentGrid
+
+        return ExperimentGrid(
+            mhk=self.mhk, loop="closed", patterns=self.patterns,
+            loads=self.loads, fault_sets=self.fault_sets, seeds=self.seeds,
+            link_capacity=self.link_capacity, batches=self.batches,
+            cycles_per_batch=self.cycles_per_batch,
+            controller=self.controller, engine=self.engine,
+            route_mode=self.route_mode, shards=self.shards,
+        )
+
     def scenarios(self) -> list[Scenario]:
-        """Expand the grid into concrete :class:`Scenario` cells."""
+        """Expand the grid into concrete :class:`Scenario` cells (the
+        deprecated shim type — each construction warns; prefer
+        ``to_experiment_grid().expand()``)."""
         out = []
         for (m, h, k), pattern, load, faults, seed in itertools.product(
             self.mhk, self.patterns, self.loads, self.fault_sets, self.seeds
@@ -726,53 +731,82 @@ class ShardDriver:
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
-class _ScenarioTask:
-    """One unit of pool work: a scenario, or one batch-shard of it."""
+class _SpecTask:
+    """One unit of pool work: an experiment spec, or one closed-loop
+    batch-shard of it."""
 
-    scenario: Scenario
+    spec: "object"          # ExperimentSpec
     batch_slice: tuple[int, int] | None = None
 
-    def run(self) -> ScenarioResult:
+    def run(self) -> ExperimentResult:
         sl = slice(*self.batch_slice) if self.batch_slice else None
-        return self.scenario.run(batch_slice=sl)
+        return self.spec.run(batch_slice=sl)
 
 
-def _run_scenario_task(task: _ScenarioTask) -> ScenarioResult:
+def _run_spec_task(task: _SpecTask) -> ExperimentResult:
     return task.run()
 
 
-def _expand_tasks(scenarios: Sequence[Scenario]) -> tuple[list[_ScenarioTask], list[int]]:
-    """Flatten scenarios into pool tasks; ``owner[i]`` maps task ``i``
-    back to its scenario index (shards of one scenario share an owner)."""
-    tasks: list[_ScenarioTask] = []
+def _as_specs(grid) -> list:
+    """Normalize any accepted grid/cell form into a flat spec list."""
+    from repro.experiments.spec import ExperimentGrid, ExperimentSpec
+
+    if isinstance(grid, ExperimentGrid):
+        return grid.expand()
+    if isinstance(grid, ScenarioGrid):
+        return grid.to_experiment_grid().expand()
+    specs = []
+    for cell in grid:
+        if isinstance(cell, ExperimentSpec):
+            specs.append(cell)
+        elif hasattr(cell, "to_spec"):  # legacy Scenario/StreamScenario shims
+            specs.append(cell.to_spec())
+        else:
+            raise ParameterError(
+                f"run_grid expects ExperimentSpec cells (or the legacy "
+                f"Scenario/StreamScenario shims), got {cell!r}"
+            )
+    return specs
+
+
+def _expand_tasks(specs: Sequence) -> tuple[list[_SpecTask], list[int]]:
+    """Flatten specs into pool tasks; ``owner[i]`` maps task ``i`` back
+    to its spec index (batch-shards of one spec share an owner)."""
+    tasks: list[_SpecTask] = []
     owners: list[int] = []
-    for si, sc in enumerate(scenarios):
-        if sc.shards <= 1:
-            tasks.append(_ScenarioTask(sc))
+    for si, sp in enumerate(specs):
+        if sp.loop != "closed" or sp.shards <= 1:
+            tasks.append(_SpecTask(sp))
             owners.append(si)
             continue
-        bounds = np.linspace(0, sc.batches, sc.shards + 1).astype(int)
+        bounds = np.linspace(0, sp.batches, sp.shards + 1).astype(int)
         for a, b in zip(bounds[:-1], bounds[1:]):
             if a == b:
                 continue
-            tasks.append(_ScenarioTask(sc, (int(a), int(b))))
+            tasks.append(_SpecTask(sp, (int(a), int(b))))
             owners.append(si)
     return tasks, owners
 
 
 @dataclass(frozen=True)
 class GridResult:
-    """Everything a sweep produced: per-scenario results (grid order) and
-    the exact cross-scenario aggregate."""
+    """Everything a sweep produced: per-spec results (grid order) and
+    the exact cross-spec aggregate."""
 
-    results: tuple[ScenarioResult, ...]
+    results: tuple[ExperimentResult, ...]
     seconds: float                      # wall clock of the whole sweep
     workers: int
 
     @property
     def aggregate(self) -> ShardStats:
-        """Exact cross-scenario reduction (mergeable form)."""
-        return ShardStats.merge(r.stats for r in self.results)
+        """Exact cross-spec reduction (mergeable form) over the grid's
+        *closed-loop* results — stream points carry
+        :class:`~repro.simulator.metrics.StreamStats`, whose open-loop
+        rates do not reduce across different offered loads, so they are
+        reported per point in :meth:`rows` instead."""
+        return ShardStats.merge(
+            r.stats for r in self.results if isinstance(r.stats, ShardStats)
+        )
 
     @property
     def aggregate_stats(self) -> RunStats:
@@ -782,58 +816,64 @@ class GridResult:
         return self.aggregate.to_run_stats()
 
     def rows(self) -> list[dict]:
-        """JSON-friendly per-scenario rows (reporting/CI artifacts)."""
+        """JSON-friendly per-spec rows (reporting/CI artifacts).
+        Closed-loop rows keep the legacy sweep columns bit-identical;
+        stream rows prepend the cell identity to the saturation-curve
+        columns."""
         out = []
         for r in self.results:
-            sc, st = r.scenario, r.run_stats
-            out.append({
-                "scenario": sc.label,
-                "m": sc.m, "h": sc.h, "k": sc.k,
-                "pattern": sc.pattern, "packets": sc.packets,
-                "faults": [list(f) for f in sc.faults],
-                "seed": sc.seed,
-                "controller": sc.controller,
-                "engine": sc.engine,
-                "route_mode": sc.route_mode,
-                "cycles": st.cycles,
-                "delivered": st.delivered,
-                "dropped": st.dropped,
-                "mean_latency": round(st.mean_latency, 4),
-                "p95_latency": round(st.p95_latency, 4),
-                "throughput": round(st.throughput, 4),
-                "seconds": round(r.seconds, 4),
-            })
+            row = r.row()
+            if not isinstance(r.stats, ShardStats):
+                sc = r.spec
+                row = {
+                    "scenario": sc.label,
+                    "m": sc.m, "h": sc.h, "k": sc.k,
+                    "pattern": sc.pattern, "source": sc.source,
+                    "faults": [list(f) for f in sc.faults],
+                    "seed": sc.seed,
+                    "controller": sc.controller,
+                    "engine": sc.engine,
+                    "route_mode": sc.route_mode,
+                    **row,
+                }
+            out.append(row)
         return out
 
 
 def run_grid(
-    grid: ScenarioGrid | Sequence[Scenario],
+    grid,
     *,
     workers: int | None = None,
     chunk_size: int | None = None,
     driver: ShardDriver | None = None,
 ) -> GridResult:
-    """Sweep a scenario grid across a worker pool and reduce the shards.
+    """Sweep an experiment grid across a worker pool and reduce the
+    shards.
 
-    The per-scenario results come back in grid order regardless of which
-    worker finished first, and the merged aggregate is bit-identical to
-    running every scenario inline (``workers=0``) — the reducer is exact.
+    ``grid`` may be an :class:`~repro.experiments.ExperimentGrid`, a
+    legacy :class:`ScenarioGrid`, or any sequence of
+    :class:`~repro.experiments.ExperimentSpec` cells (legacy
+    ``Scenario``/``StreamScenario`` shims are converted).  Closed-loop
+    and stream cells mix freely — a stream grid over rates x sizes x
+    fault sets *is* a saturation surface executed as one sharded sweep.
+
+    The per-spec results come back in grid order regardless of which
+    worker finished first, and the merged closed-loop aggregate is
+    bit-identical to running every cell inline (``workers=0``) — the
+    reducer is exact.
     """
-    scenarios = grid.scenarios() if isinstance(grid, ScenarioGrid) else list(grid)
-    for sc in scenarios:
-        if not isinstance(sc, Scenario):
-            raise ParameterError(f"run_grid expects Scenario cells, got {sc!r}")
-    tasks, owners = _expand_tasks(scenarios)
+    specs = _as_specs(grid)
+    tasks, owners = _expand_tasks(specs)
     drv = driver or ShardDriver(workers=workers, chunk_size=chunk_size)
     t0 = time.perf_counter()
-    raw = drv.map(_run_scenario_task, tasks)
+    raw = drv.map(_run_spec_task, tasks)
     seconds = time.perf_counter() - t0
 
-    by_owner: dict[int, list[ScenarioResult]] = {}
+    by_owner: dict[int, list[ExperimentResult]] = {}
     for owner, res in zip(owners, raw):
         by_owner.setdefault(owner, []).append(res)
     merged = tuple(
-        by_owner[i][0].merged_with(by_owner[i][1:]) for i in range(len(scenarios))
+        by_owner[i][0].merged_with(by_owner[i][1:]) for i in range(len(specs))
     )
     return GridResult(
         results=merged,

@@ -37,10 +37,13 @@ Sources
 
 All rate parameters are **aggregate packets per cycle** across the whole
 machine (not per node).  Destination pairs come from the named pattern in
-:data:`repro.simulator.traffic.PATTERN_NAMES` (default ``uniform``).
+:data:`repro.simulator.traffic.PATTERNS` (default ``uniform``).
 
-Use :func:`make_source` to build a source by name (the ``saturate`` CLI
-and :class:`repro.simulator.streaming.StreamScenario` route through it).
+Use :func:`make_source` to build a source by name.  Names resolve
+through the :data:`SOURCES` :class:`~repro.registry.Registry` — the
+experiment spec layer validates against it at construction time, and a
+new arrival process is one decorated factory, not an edit to a dispatch
+chain.
 """
 
 from __future__ import annotations
@@ -50,9 +53,11 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.simulator.traffic import PATTERN_NAMES, make_pattern
+from repro.registry import Registry
+from repro.simulator.traffic import PATTERNS, make_pattern
 
 __all__ = [
+    "SOURCES",
     "SOURCE_NAMES",
     "TrafficSource",
     "PoissonSource",
@@ -64,7 +69,9 @@ __all__ = [
 
 _I64 = np.int64
 
-SOURCE_NAMES = ("poisson", "onoff", "deterministic")
+#: Registry of source factories:
+#: ``name -> (n, rate, *, pattern, seed, mean_on, mean_off) -> TrafficSource``.
+SOURCES = Registry("traffic source")
 
 
 def _draw_pairs(
@@ -117,11 +124,7 @@ class TrafficSource(ABC):
     def __init__(self, n: int, *, pattern: str = "uniform", seed: int = 0):
         if n < 2:
             raise ParameterError("traffic sources need n >= 2")
-        if pattern not in PATTERN_NAMES:
-            raise ParameterError(
-                f"unknown traffic pattern {pattern!r}; "
-                f"expected one of {PATTERN_NAMES}"
-            )
+        PATTERNS.validate(pattern)
         self.n = int(n)
         self.pattern = pattern
         self.seed = int(seed)
@@ -361,6 +364,35 @@ class TraceSource(TrafficSource):
         return self.times[keep].copy(), self.pairs[keep].copy()
 
 
+@SOURCES.register("poisson")
+def _s_poisson(n, rate, *, pattern="uniform", seed=0, mean_on=20.0, mean_off=20.0):
+    return PoissonSource(n, rate, pattern=pattern, seed=seed)
+
+
+@SOURCES.register("onoff")
+def _s_onoff(n, rate, *, pattern="uniform", seed=0, mean_on=20.0, mean_off=20.0):
+    # scale the on-state rate up so the long-run mean equals `rate`
+    # despite the off periods — load sweeps compare like with like
+    duty = mean_on / (mean_on + mean_off)
+    return OnOffSource(
+        n, rate / duty, mean_on=mean_on, mean_off=mean_off,
+        pattern=pattern, seed=seed,
+    )
+
+
+@SOURCES.register("deterministic")
+def _s_deterministic(n, rate, *, pattern="uniform", seed=0, mean_on=20.0,
+                     mean_off=20.0):
+    return DeterministicSource(n, rate, pattern=pattern, seed=seed)
+
+
+#: Import-time snapshot of the registered source names, kept for
+#: compatibility.  The registry is the source of truth: anything that
+#: must see sources registered *after* import (CLI ``choices=`` lists,
+#: error messages) calls ``SOURCES.names()`` at use time instead.
+SOURCE_NAMES = SOURCES.names()
+
+
 def make_source(
     kind: str,
     n: int,
@@ -376,18 +408,9 @@ def make_source(
 
     For ``"onoff"`` the on-state rate is scaled up so the long-run mean
     equals ``rate`` despite the off periods — a load sweep over source
-    kinds then compares like with like.
+    kinds then compares like with like.  Unknown kinds raise a
+    :class:`~repro.errors.ParameterError` listing the valid choices.
     """
-    if kind == "poisson":
-        return PoissonSource(n, rate, pattern=pattern, seed=seed)
-    if kind == "deterministic":
-        return DeterministicSource(n, rate, pattern=pattern, seed=seed)
-    if kind == "onoff":
-        duty = mean_on / (mean_on + mean_off)
-        return OnOffSource(
-            n, rate / duty, mean_on=mean_on, mean_off=mean_off,
-            pattern=pattern, seed=seed,
-        )
-    raise ParameterError(
-        f"unknown source kind {kind!r}; expected one of {SOURCE_NAMES}"
+    return SOURCES.get(kind)(
+        n, rate, pattern=pattern, seed=seed, mean_on=mean_on, mean_off=mean_off
     )

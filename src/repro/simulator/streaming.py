@@ -54,7 +54,7 @@ pins this with goldens).
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, replace
 from typing import Sequence
 
@@ -62,9 +62,8 @@ import numpy as np
 
 from repro.errors import ParameterError, SimulationError
 from repro.simulator.metrics import PacketArrays, StreamStats, stream_summary
-from repro.simulator.shard_driver import ShardDriver
-from repro.simulator.sources import SOURCE_NAMES, TrafficSource, make_source
-from repro.simulator.traffic import PATTERN_NAMES
+from repro.simulator.shard_driver import ExperimentResult, ShardDriver
+from repro.simulator.sources import TrafficSource
 
 __all__ = [
     "run_stream",
@@ -76,10 +75,6 @@ __all__ = [
 ]
 
 _I64 = np.int64
-
-_CONTROLLERS = ("reconfig", "detour")
-_STREAM_ENGINES = ("object", "batch")
-_ROUTE_MODES = ("bfs", "table")
 
 
 def _records_of(sim) -> PacketArrays:
@@ -261,26 +256,17 @@ def run_stream(
 
 @dataclass(frozen=True)
 class StreamScenario:
-    """One self-contained open-loop run: everything a worker process
-    needs to rebuild and execute it (pure data — pickles by value).
+    """Deprecated: the open-loop scenario record, now a thin shim over
+    :class:`repro.experiments.ExperimentSpec`.
 
-    The streamed twin of :class:`repro.simulator.shard_driver.Scenario`:
-    where that describes a closed batch drain, this describes a machine
-    plus an arrival process at a target ``rate`` over a fixed horizon.
-    :func:`load_sweep` and :func:`find_saturation` fan replicas with
-    different rates out across a
-    :class:`~repro.simulator.shard_driver.ShardDriver` pool.
-
-    ``faults`` are ``(cycle, node)`` pairs; both controllers fire them on
-    the honest per-cycle timeline (a mid-stream fault takes down queued
-    traffic and re-routes — for the ``detour`` baseline that also
-    recompiles the ``route_mode="table"`` epoch cache before the next
-    arrival batch).
-
-    ``route_mode`` selects the detour baseline's routing backend
-    (``"bfs"`` per-pair reference or ``"table"`` compiled per epoch —
-    see :class:`~repro.simulator.faults.DetourController`); the
-    ``reconfig`` controller ignores it.
+    Constructing one emits a :class:`DeprecationWarning` and builds the
+    equivalent spec (``loop="stream"``) internally — same fields, same
+    validation, and :meth:`run` returns bit-identical statistics, so
+    existing call sites keep working while they migrate.  New code
+    should construct ``ExperimentSpec(loop="stream", ...)`` directly;
+    a rate ladder over several machine sizes and fault sets is an
+    :class:`~repro.experiments.ExperimentGrid` handed to
+    :func:`~repro.simulator.shard_driver.run_grid`.
     """
 
     m: int
@@ -302,58 +288,38 @@ class StreamScenario:
     mean_off: float = 20.0
 
     def __post_init__(self):
-        if self.source not in SOURCE_NAMES:
-            raise ParameterError(
-                f"unknown source {self.source!r}; expected one of {SOURCE_NAMES}"
-            )
-        if self.pattern not in PATTERN_NAMES:
-            raise ParameterError(
-                f"unknown traffic pattern {self.pattern!r}; "
-                f"expected one of {PATTERN_NAMES}"
-            )
-        if self.controller not in _CONTROLLERS:
-            raise ParameterError(
-                f"unknown controller {self.controller!r}; "
-                f"expected one of {_CONTROLLERS}"
-            )
-        if self.engine not in _STREAM_ENGINES:
-            raise ParameterError(
-                f"StreamScenario.engine must be one of {_STREAM_ENGINES}, "
-                f"got {self.engine!r} (streaming interleaves per-cycle "
-                f"arrivals; the sharded engine cannot)"
-            )
-        if self.route_mode not in _ROUTE_MODES:
-            raise ParameterError(
-                f"unknown route_mode {self.route_mode!r}; "
-                f"expected one of {_ROUTE_MODES}"
-            )
-        if not self.rate > 0:
-            raise ParameterError("rate must be > 0")
-        if not 0 <= self.warmup < self.cycles:
-            raise ParameterError("need 0 <= warmup < cycles")
         object.__setattr__(
             self, "faults", tuple((int(c), int(v)) for c, v in self.faults)
         )
-        if self.controller == "reconfig" and len(self.faults) > self.k:
-            raise ParameterError(
-                f"scenario schedules {len(self.faults)} faults but "
-                f"B^{self.k}_{{{self.m},{self.h}}} has only {self.k} spares"
-            )
+        # validation lives in the spec; an invalid StreamScenario raises
+        # the same ParameterError the spec would
+        object.__setattr__(self, "_spec", self.to_spec())
+        warnings.warn(
+            "StreamScenario is deprecated; use "
+            "repro.experiments.ExperimentSpec(loop='stream', ...) — same "
+            "fields, exact JSON round-trip, and `repro run` support",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def to_spec(self):
+        """The equivalent :class:`~repro.experiments.ExperimentSpec`."""
+        from repro.experiments.spec import ExperimentSpec
+
+        return ExperimentSpec(
+            m=self.m, h=self.h, k=self.k, loop="stream",
+            pattern=self.pattern, controller=self.controller,
+            engine=self.engine, route_mode=self.route_mode,
+            faults=self.faults, seed=self.seed,
+            link_capacity=self.link_capacity,
+            source=self.source, rate=self.rate, cycles=self.cycles,
+            warmup=self.warmup, window=self.window,
+            mean_on=self.mean_on, mean_off=self.mean_off,
+        )
 
     @property
     def label(self) -> str:
-        parts = [
-            f"B^{self.k}_{{{self.m},{self.h}}}",
-            f"{self.source}({self.rate:g}/cy)",
-            self.pattern,
-        ]
-        if self.faults:
-            parts.append(f"{len(self.faults)}flt")
-        if self.controller != "reconfig":
-            parts.append(self.controller)
-            if self.route_mode != "bfs":
-                parts.append(self.route_mode)
-        return " ".join(parts)
+        return self._spec.label
 
     def with_rate(self, rate: float) -> "StreamScenario":
         """A copy at a different offered rate (the load-sweep axis)."""
@@ -361,109 +327,59 @@ class StreamScenario:
 
     def build_source(self) -> TrafficSource:
         """The scenario's arrival process — deterministic in ``seed``."""
-        return make_source(
-            self.source, self.m ** self.h, self.rate,
-            pattern=self.pattern, seed=self.seed,
-            mean_on=self.mean_on, mean_off=self.mean_off,
-        )
+        return self._spec.build_source()
 
     def build_controller(self):
         """Fresh controller with this scenario's faults wired in."""
-        from repro.simulator.faults import (
-            DetourController,
-            FaultScenario,
-            ReconfigurationController,
+        return self._spec.build_controller()
+
+    def run(self) -> "ExperimentResult":
+        """Execute in the current process — delegates to the spec; the
+        result's ``scenario`` attribute holds the spec."""
+        return self._spec.run()
+
+
+#: Legacy alias — scenario-era call sites keep importing this name.
+StreamPointResult = ExperimentResult
+
+
+def _as_stream_spec(base):
+    """Normalize a sweep base (spec or legacy shim) to a stream spec."""
+    spec = base.to_spec() if hasattr(base, "to_spec") else base
+    if getattr(spec, "loop", None) != "stream":
+        raise ParameterError(
+            "load sweeps need a stream experiment: pass "
+            "ExperimentSpec(loop='stream', ...) or a StreamScenario"
         )
-
-        if self.controller == "detour":
-            ctrl = DetourController(
-                self.m, self.h, engine=self.engine,
-                link_capacity=self.link_capacity,
-                route_mode=self.route_mode,
-            )
-            if self.faults:
-                ctrl.schedule(FaultScenario(list(self.faults)))
-            return ctrl
-        ctrl = ReconfigurationController(
-            self.m, self.h, self.k, engine=self.engine,
-            link_capacity=self.link_capacity,
-        )
-        if self.faults:
-            ctrl.schedule(FaultScenario(list(self.faults)))
-        return ctrl
-
-    def run(self) -> "StreamPointResult":
-        """Execute in the current process; workers call this."""
-        ctrl = self.build_controller()
-        src = self.build_source()
-        t0 = time.perf_counter()
-        stats = run_stream(
-            ctrl, src, cycles=self.cycles, warmup=self.warmup,
-            window=self.window,
-        )
-        return StreamPointResult(
-            scenario=self,
-            stats=stats,
-            seconds=time.perf_counter() - t0,
-            lost_to_faults=getattr(ctrl, "lost_to_faults", 0),
-            unreachable_pairs=getattr(ctrl, "unreachable_pairs", 0),
-        )
+    return spec
 
 
-@dataclass(frozen=True)
-class StreamPointResult:
-    """One evaluated point of a load sweep."""
-
-    scenario: StreamScenario
-    stats: StreamStats
-    seconds: float
-    lost_to_faults: int = 0
-    unreachable_pairs: int = 0
-
-    def stable(self, threshold: float) -> bool:
-        """Is the point below saturation? — delivered keeps up with
-        offered (``delivery_ratio >= threshold``)."""
-        return self.stats.delivery_ratio >= threshold
-
-    def row(self) -> dict:
-        """JSON-friendly summary row (CLI tables, report artifacts)."""
-        s = self.stats
-        return {
-            "rate": self.scenario.rate,
-            "offered_rate": round(s.offered_rate, 4),
-            "delivered_rate": round(s.delivered_rate, 4),
-            "delivery_ratio": round(s.delivery_ratio, 4),
-            "mean_latency": round(s.mean_latency, 4),
-            "p95_latency": round(s.p95_latency, 4),
-            "backlog": s.final_occupancy,
-            "dropped": s.dropped,
-            "unadmitted": s.unadmitted,
-            "seconds": round(self.seconds, 4),
-        }
-
-
-def _run_stream_point(sc: StreamScenario) -> StreamPointResult:
+def _run_stream_point(sc) -> ExperimentResult:
     """Module-level worker entry point (must be picklable by name)."""
     return sc.run()
 
 
 def load_sweep(
-    base: StreamScenario,
+    base,
     rates,
     *,
     workers: int | None = None,
     driver: ShardDriver | None = None,
-) -> list[StreamPointResult]:
+) -> list[ExperimentResult]:
     """Evaluate ``base`` at every offered rate in ``rates``.
 
-    Points are independent simulations, so they fan out across a
+    ``base`` is a stream :class:`~repro.experiments.ExperimentSpec` (or
+    the legacy ``StreamScenario`` shim).  Points are independent
+    simulations, so they fan out across a
     :class:`~repro.simulator.shard_driver.ShardDriver` worker pool
     (``workers=0`` runs inline — results are identical either way).
-    Returns one :class:`StreamPointResult` per rate, in input order.
+    Returns one :class:`~repro.simulator.shard_driver.ExperimentResult`
+    per rate, in input order.
     """
-    scenarios = [base.with_rate(float(r)) for r in rates]
+    base = _as_stream_spec(base)
+    specs = [base.with_rate(float(r)) for r in rates]
     drv = driver or ShardDriver(workers=workers)
-    return drv.map(_run_stream_point, scenarios)
+    return drv.map(_run_stream_point, specs)
 
 
 # ---------------------------------------------------------------------------
@@ -532,7 +448,7 @@ def _bracket_first_crossing(
 
 
 def find_saturation(
-    base: StreamScenario,
+    base,
     rates,
     *,
     bisect: int = 5,
@@ -542,11 +458,13 @@ def find_saturation(
 ) -> SaturationResult:
     """Locate the saturation point of one machine/fault scenario.
 
-    Phase 1 evaluates the ``rates`` ladder in parallel (the coarse
-    curve).  Phase 2 brackets the ladder's *first* threshold crossing
-    (see :func:`_bracket_first_crossing`) and bisects it ``bisect``
-    times (sequential — each probe informs the next).  A point is
-    *stable* when its measurement-window delivery ratio is at least
+    ``base`` is a stream :class:`~repro.experiments.ExperimentSpec` (or
+    the legacy ``StreamScenario`` shim).  Phase 1 evaluates the
+    ``rates`` ladder in parallel (the coarse curve).  Phase 2 brackets
+    the ladder's *first* threshold crossing (see
+    :func:`_bracket_first_crossing`) and bisects it ``bisect`` times
+    (sequential — each probe informs the next).  A point is *stable*
+    when its measurement-window delivery ratio is at least
     ``threshold``; past saturation the open-loop backlog grows without
     bound and the ratio collapses, so the indicator is sharp.
 
@@ -555,6 +473,7 @@ def find_saturation(
     """
     if not 0 < threshold <= 1:
         raise ParameterError("threshold must be in (0, 1]")
+    base = _as_stream_spec(base)
     rates = sorted(float(r) for r in rates)
     if not rates:
         raise ParameterError("find_saturation needs at least one rate")

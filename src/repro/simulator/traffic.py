@@ -6,6 +6,15 @@ benchmarking canon: uniform random, transpose, bit-reversal, hot-spot,
 permutation, all-to-all, plus nearest-neighbor de Bruijn streams that
 mimic Ascend/Descend supersteps (the workloads the paper's introduction
 motivates).
+
+Patterns are looked up by name through the :data:`PATTERNS`
+:class:`~repro.registry.Registry`: every entry is a builder with the
+uniform signature ``(n, msgs, rng) -> pairs`` (deterministic patterns
+tile themselves to ``msgs`` rows; random ones draw exactly ``msgs``).
+:func:`make_pattern` is the lookup front door, and registering a new
+pattern is one decorated function — the experiment spec layer, the CLI
+``choices=`` lists and the error messages all pick it up from the
+registry.
 """
 
 from __future__ import annotations
@@ -13,8 +22,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.registry import Registry
 
 __all__ = [
+    "PATTERNS",
     "PATTERN_NAMES",
     "make_pattern",
     "uniform_traffic",
@@ -26,21 +37,25 @@ __all__ = [
     "descend_superstep_traffic",
 ]
 
-PATTERN_NAMES = (
-    "uniform",
-    "transpose",
-    "bit-reversal",
-    "hotspot",
-    "permutation",
-    "all-to-all",
-    "descend",
-)
+#: Registry of pattern builders: ``name -> (n, msgs, rng) -> (msgs, 2)``
+#: pairs.  Registration order is the documented order.
+PATTERNS = Registry("traffic pattern")
 
 
 def _check_pow2(n: int) -> int:
     if n < 2 or n & (n - 1):
         raise ParameterError(f"pattern requires a power-of-two node count, got {n}")
     return int(n.bit_length() - 1)
+
+
+def _tiled(base: np.ndarray, msgs: int) -> np.ndarray:
+    """Tile/trim a deterministic pattern to ``msgs`` rows (repeats raise
+    contention — the heavy traffic regime); ``msgs <= 0`` returns the
+    canonical size."""
+    if msgs <= 0 or base.shape[0] == 0:
+        return base
+    reps = -(-msgs // base.shape[0])  # ceil division
+    return np.tile(base, (reps, 1))[:msgs]
 
 
 def uniform_traffic(n: int, msgs: int, rng: np.random.Generator) -> np.ndarray:
@@ -109,48 +124,6 @@ def all_to_all_traffic(n: int) -> np.ndarray:
     return np.column_stack([src[mask], dst[mask]])
 
 
-def make_pattern(
-    n: int, name: str, msgs: int = 0, rng: np.random.Generator | None = None
-) -> np.ndarray:
-    """Build any named traffic pattern (one of :data:`PATTERN_NAMES`).
-
-    Random patterns (``uniform``, ``hotspot``) draw exactly ``msgs``
-    messages from ``rng``.  Deterministic patterns are tiled/trimmed to
-    ``msgs`` rows when ``msgs > 0`` (repeats raise contention — the heavy
-    traffic regime), or returned at their canonical size when ``msgs`` is
-    0.  Used by the engine benchmarks so every pattern scales to any
-    workload size.
-    """
-    if name == "uniform":
-        if rng is None or msgs <= 0:
-            raise ParameterError("uniform pattern needs msgs > 0 and an rng")
-        return uniform_traffic(n, msgs, rng)
-    if name == "hotspot":
-        if rng is None or msgs <= 0:
-            raise ParameterError("hotspot pattern needs msgs > 0 and an rng")
-        return hotspot_traffic(n, msgs, rng)
-    if name == "permutation":
-        if rng is None:
-            raise ParameterError("permutation pattern needs an rng")
-        base = permutation_traffic(n, rng)
-    elif name == "transpose":
-        base = transpose_traffic(n)
-    elif name == "bit-reversal":
-        base = bit_reversal_traffic(n)
-    elif name == "all-to-all":
-        base = all_to_all_traffic(n)
-    elif name == "descend":
-        base = descend_superstep_traffic(n)
-    else:
-        raise ParameterError(
-            f"unknown traffic pattern {name!r}; expected one of {PATTERN_NAMES}"
-        )
-    if msgs <= 0 or base.shape[0] == 0:
-        return base
-    reps = -(-msgs // base.shape[0])  # ceil division
-    return np.tile(base, (reps, 1))[:msgs]
-
-
 def descend_superstep_traffic(n: int) -> np.ndarray:
     """One Descend round on a de Bruijn machine: every node sends to both
     of its shift successors (the traffic of normal algorithms, §I)."""
@@ -160,3 +133,70 @@ def descend_superstep_traffic(n: int) -> np.ndarray:
     b = np.column_stack([ids, (2 * ids + 1) % n])
     out = np.vstack([a, b])
     return out[out[:, 0] != out[:, 1]]
+
+
+# ---------------------------------------------------------------------------
+# the registry: uniform (n, msgs, rng) builders over the generators above
+# ---------------------------------------------------------------------------
+
+@PATTERNS.register("uniform")
+def _p_uniform(n, msgs, rng):
+    if rng is None or msgs <= 0:
+        raise ParameterError("uniform pattern needs msgs > 0 and an rng")
+    return uniform_traffic(n, msgs, rng)
+
+
+@PATTERNS.register("transpose")
+def _p_transpose(n, msgs, rng):
+    return _tiled(transpose_traffic(n), msgs)
+
+
+@PATTERNS.register("bit-reversal")
+def _p_bit_reversal(n, msgs, rng):
+    return _tiled(bit_reversal_traffic(n), msgs)
+
+
+@PATTERNS.register("hotspot")
+def _p_hotspot(n, msgs, rng):
+    if rng is None or msgs <= 0:
+        raise ParameterError("hotspot pattern needs msgs > 0 and an rng")
+    return hotspot_traffic(n, msgs, rng)
+
+
+@PATTERNS.register("permutation")
+def _p_permutation(n, msgs, rng):
+    if rng is None:
+        raise ParameterError("permutation pattern needs an rng")
+    return _tiled(permutation_traffic(n, rng), msgs)
+
+
+@PATTERNS.register("all-to-all")
+def _p_all_to_all(n, msgs, rng):
+    return _tiled(all_to_all_traffic(n), msgs)
+
+
+@PATTERNS.register("descend")
+def _p_descend(n, msgs, rng):
+    return _tiled(descend_superstep_traffic(n), msgs)
+
+
+#: Import-time snapshot of the registered pattern names, kept for
+#: compatibility.  The registry is the source of truth: anything that
+#: must see patterns registered *after* import (CLI ``choices=`` lists,
+#: error messages) calls ``PATTERNS.names()`` at use time instead.
+PATTERN_NAMES = PATTERNS.names()
+
+
+def make_pattern(
+    n: int, name: str, msgs: int = 0, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Build any registered traffic pattern (one of :data:`PATTERN_NAMES`).
+
+    Random patterns (``uniform``, ``hotspot``) draw exactly ``msgs``
+    messages from ``rng``.  Deterministic patterns are tiled/trimmed to
+    ``msgs`` rows when ``msgs > 0`` (repeats raise contention — the heavy
+    traffic regime), or returned at their canonical size when ``msgs`` is
+    0.  Unknown names raise a :class:`~repro.errors.ParameterError`
+    listing the valid choices.
+    """
+    return PATTERNS.get(name)(n, msgs, rng)

@@ -268,7 +268,10 @@ class TestControllersOnBatchEngine:
         assert a.unreachable_pairs == b.unreachable_pairs
 
     def test_unknown_engine_rejected(self):
-        with pytest.raises(SimulationError):
+        # registry lookups raise a ValueError subclass naming the choices
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError, match="engine.*quantum"):
             ReconfigurationController(2, 3, 1, engine="quantum")
 
     def test_ft_full_delivery_after_fault_batch(self):

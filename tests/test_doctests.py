@@ -26,6 +26,8 @@ MODULE_NAMES = [
     "repro.routing.tables",
     "repro.simulator.events",
     "repro.simulator.shard_driver",
+    "repro.experiments.spec",
+    "repro.registry",
     "repro.analysis.reliability",
 ]
 MODULES = [importlib.import_module(name) for name in MODULE_NAMES]

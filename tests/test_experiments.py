@@ -1,0 +1,501 @@
+"""Tests for the unified experiment API: spec round-trips, registry
+validation, grid-expansion equivalence against the legacy scenario
+paths, deprecation shims, and the ``repro run`` CLI.
+
+The load-bearing claims:
+
+* ``ExperimentSpec`` JSON round-trips *exactly* (spec -> json -> spec
+  equality, every field);
+* the legacy ``Scenario``/``StreamScenario``/``ScenarioGrid`` paths and
+  the new ``ExperimentSpec``/``ExperimentGrid`` paths produce
+  bit-identical ``RunStats``/``StreamStats``;
+* registry lookups fail at spec construction with a ``ValueError``
+  subclass naming the bad value and the valid choices — never a
+  ``KeyError`` inside a worker;
+* the shims warn with ``DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.errors import ParameterError
+from repro.experiments import (
+    CONTROLLERS,
+    ENGINES,
+    PATTERNS,
+    ROUTE_MODES,
+    SOURCES,
+    ExperimentGrid,
+    ExperimentSpec,
+    Registry,
+    run_grid,
+)
+
+
+def _quiet(fn, *args, **kwargs):
+    """Run a deprecated constructor without warning noise."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return fn(*args, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# the Registry primitive
+# ---------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_register_lookup_and_order(self):
+        reg = Registry("widget")
+        reg.register("a")(1)
+        reg.register("b")(2)
+        assert reg.names() == ("a", "b")
+        assert reg.get("b") == 2
+        assert "a" in reg and "c" not in reg
+        assert len(reg) == 2 and list(reg) == ["a", "b"]
+
+    def test_unknown_name_is_valueerror_naming_choices(self):
+        reg = Registry("widget")
+        reg.register("a")(1)
+        with pytest.raises(ParameterError, match="unknown widget 'z'.*a"):
+            reg.get("z")
+        with pytest.raises(ValueError):
+            reg.validate("z")
+
+    def test_duplicate_registration_rejected(self):
+        reg = Registry("widget")
+        reg.register("a")(1)
+        with pytest.raises(ParameterError, match="already registered"):
+            reg.register("a")(2)
+
+    def test_live_registries_contents(self):
+        assert set(ENGINES.names()) == {"object", "batch", "sharded"}
+        assert set(CONTROLLERS.names()) == {"reconfig", "detour"}
+        assert set(ROUTE_MODES.names()) == {"bfs", "table"}
+        assert {"poisson", "onoff", "deterministic"} <= set(SOURCES.names())
+        assert {"uniform", "hotspot", "descend"} <= set(PATTERNS.names())
+
+
+# ---------------------------------------------------------------------------
+# spec validation: registry names fail at construction time
+# ---------------------------------------------------------------------------
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("field,bad,choices_hint", [
+        ("pattern", "rnig", "uniform"),
+        ("controller", "psychic", "reconfig"),
+        ("engine", "warp", "object"),
+        ("route_mode", "teleport", "bfs"),
+        ("source", "firehose", "poisson"),
+    ])
+    def test_unknown_names_raise_early_naming_choices(
+        self, field, bad, choices_hint
+    ):
+        with pytest.raises(ParameterError, match=f"{bad!r}.*{choices_hint}"):
+            ExperimentSpec(m=2, h=4, **{field: bad})
+
+    def test_registry_errors_are_valueerrors(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(m=2, h=4, pattern="nope")
+
+    def test_loop_kind_validated(self):
+        with pytest.raises(ParameterError, match="loop"):
+            ExperimentSpec(m=2, h=4, loop="moebius")
+
+    def test_sharded_engine_not_a_cell_choice(self):
+        with pytest.raises(ParameterError, match="'object' or 'batch'"):
+            ExperimentSpec(m=2, h=4, engine="sharded")
+
+    def test_spare_budget_checked(self):
+        with pytest.raises(ParameterError, match="spares"):
+            ExperimentSpec(m=2, h=4, k=1, faults=((0, 1), (0, 2)))
+
+    def test_closed_loop_constraints(self):
+        with pytest.raises(ParameterError, match="detour"):
+            ExperimentSpec(m=2, h=4, controller="detour", cycles_per_batch=3)
+        with pytest.raises(ParameterError, match="shards"):
+            ExperimentSpec(m=2, h=4, shards=3, batches=2)
+        with pytest.raises(ParameterError, match="cycle 0"):
+            ExperimentSpec(m=2, h=4, shards=2, batches=2, faults=((4, 1),))
+
+    def test_stream_constraints(self):
+        with pytest.raises(ParameterError, match="rate"):
+            ExperimentSpec(m=2, h=4, loop="stream", rate=0)
+        with pytest.raises(ParameterError, match="warmup"):
+            ExperimentSpec(m=2, h=4, loop="stream", warmup=50, cycles=50)
+        with pytest.raises(ParameterError, match="shard"):
+            ExperimentSpec(m=2, h=4, loop="stream", shards=2, batches=2)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ParameterError, match="nope"):
+            ExperimentSpec.from_dict({"m": 2, "h": 4, "nope": 1})
+
+
+# ---------------------------------------------------------------------------
+# exact JSON round-trip
+# ---------------------------------------------------------------------------
+
+class TestJsonRoundTrip:
+    def test_default_spec(self):
+        spec = ExperimentSpec(m=2, h=5)
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        loop=st.sampled_from(["closed", "stream"]),
+        controller=st.sampled_from(["reconfig", "detour"]),
+        engine=st.sampled_from(["object", "batch"]),
+        route_mode=st.sampled_from(["bfs", "table"]),
+        source=st.sampled_from(["poisson", "onoff", "deterministic"]),
+        pattern=st.sampled_from(["uniform", "hotspot", "descend"]),
+        k=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        packets=st.integers(min_value=1, max_value=10**6),
+        rate=st.floats(min_value=0.001, max_value=1e4,
+                       allow_nan=False, allow_infinity=False),
+        n_faults=st.integers(min_value=0, max_value=2),
+        link_capacity=st.integers(min_value=1, max_value=4),
+    )
+    def test_round_trip_property(self, loop, controller, engine, route_mode,
+                                 source, pattern, k, seed, packets, rate,
+                                 n_faults, link_capacity):
+        """spec -> to_json -> from_json is the identity, exactly —
+        ints stay ints, floats round-trip bit-for-bit."""
+        faults = tuple((7 * i, 3 + i) for i in range(n_faults))
+        spec = ExperimentSpec(
+            m=2, h=5, k=k, loop=loop, pattern=pattern,
+            controller=controller, engine=engine, route_mode=route_mode,
+            faults=faults, seed=seed, link_capacity=link_capacity,
+            packets=packets, source=source, rate=rate,
+        )
+        back = ExperimentSpec.from_json(spec.to_json())
+        assert back == spec
+        assert back.rate == spec.rate  # float equality, not approx
+        # and the dict form is genuinely JSON-typed
+        assert json.loads(spec.to_json())["faults"] == [list(f) for f in faults]
+
+    def test_grid_round_trip(self):
+        grid = ExperimentGrid(
+            mhk=[(2, 4, 1), (2, 5, 2)], loop="stream",
+            rates=[0.5, 2.0], fault_sets=[(), ((0, 3),)],
+            seeds=[0, 1], cycles=300, warmup=50,
+        )
+        assert ExperimentGrid.from_json(grid.to_json()) == grid
+
+    def test_grid_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ParameterError, match="pattern"):
+            ExperimentGrid.from_dict({"mhk": [[2, 4, 1]], "pattern": "x"})
+
+
+# ---------------------------------------------------------------------------
+# grid expansion
+# ---------------------------------------------------------------------------
+
+class TestExperimentGrid:
+    def test_closed_expansion_order_and_size(self):
+        grid = ExperimentGrid(
+            mhk=[(2, 4, 1), (2, 5, 1)], patterns=["uniform", "hotspot"],
+            loads=[10, 20], fault_sets=[(), ((0, 1),)], seeds=[0, 1, 2],
+        )
+        cells = grid.expand()
+        assert len(cells) == len(grid) == 2 * 2 * 2 * 2 * 3
+        assert [c.seed for c in cells[:3]] == [0, 1, 2]
+        assert cells[0].h == 4 and cells[-1].h == 5
+        assert all(c.loop == "closed" for c in cells)
+
+    def test_stream_grid_sweeps_rates(self):
+        grid = ExperimentGrid(
+            mhk=[(2, 4, 1)], loop="stream", rates=[1.0, 4.0],
+            fault_sets=[(), ((0, 3),)], cycles=200, warmup=20,
+        )
+        cells = grid.expand()
+        # rates are the third axis: fault sets and seeds vary faster
+        assert [c.rate for c in cells] == [1.0, 1.0, 4.0, 4.0]
+        assert all(c.loop == "stream" for c in cells)
+
+    def test_stream_grid_requires_rates(self):
+        with pytest.raises(ParameterError, match="rate"):
+            ExperimentGrid(mhk=[(2, 4, 1)], loop="stream")
+
+    def test_closed_grid_rejects_rates(self):
+        with pytest.raises(ParameterError, match="stream"):
+            ExperimentGrid(mhk=[(2, 4, 1)], rates=[1.0])
+
+    def test_bad_cell_fails_at_grid_construction(self):
+        """Expansion validates every cell up front — a bad name cannot
+        survive to a worker process."""
+        with pytest.raises(ParameterError, match="rnig"):
+            ExperimentGrid(mhk=[(2, 4, 1)], patterns=["rnig"])
+
+
+# ---------------------------------------------------------------------------
+# equivalence with the legacy paths (bit-identical stats)
+# ---------------------------------------------------------------------------
+
+class TestLegacyEquivalence:
+    def test_scenario_grid_vs_experiment_grid(self):
+        """Old ScenarioGrid and new ExperimentGrid describe the same
+        sweep -> bit-identical per-cell RunStats and aggregate."""
+        from repro.simulator import ScenarioGrid
+
+        kwargs = dict(
+            mhk=[(2, 4, 1), (2, 5, 1)], patterns=["uniform"],
+            loads=[120], fault_sets=[(), ((0, 3),)], seeds=[0, 1],
+        )
+        old = run_grid(ScenarioGrid(**kwargs), workers=0)
+        new = run_grid(ExperimentGrid(**kwargs), workers=0)
+        assert old.aggregate_stats == new.aggregate_stats
+        for a, b in zip(old.results, new.results):
+            assert a.run_stats == b.run_stats
+            assert a.spec == b.spec
+
+    def test_scenario_shim_runs_bit_identical(self):
+        from repro.simulator import Scenario
+
+        sc = _quiet(Scenario, m=2, h=5, k=1, packets=200,
+                    faults=((0, 3),), seed=4, batches=2)
+        spec = ExperimentSpec(m=2, h=5, k=1, packets=200,
+                             faults=((0, 3),), seed=4, batches=2)
+        assert sc.to_spec() == spec
+        assert sc.label == spec.label
+        assert sc.run().run_stats == spec.run().run_stats
+
+    def test_stream_scenario_shim_runs_bit_identical(self):
+        from repro.simulator import StreamScenario
+
+        sc = _quiet(StreamScenario, m=2, h=4, k=1, rate=3.0, cycles=250,
+                    warmup=50, window=50, faults=((0, 5),), seed=2)
+        spec = ExperimentSpec(m=2, h=4, k=1, loop="stream", rate=3.0,
+                             cycles=250, warmup=50, window=50,
+                             faults=((0, 5),), seed=2)
+        assert sc.to_spec() == spec
+        assert sc.label == spec.label
+        assert sc.run().stats == spec.run().stats  # full StreamStats
+
+    def test_load_sweep_accepts_both(self):
+        from repro.simulator import StreamScenario
+        from repro.simulator.streaming import load_sweep
+
+        spec = ExperimentSpec(m=2, h=4, k=1, loop="stream", cycles=200,
+                             warmup=40, faults=((0, 5),))
+        legacy = _quiet(StreamScenario, m=2, h=4, k=1, cycles=200,
+                        warmup=40, faults=((0, 5),))
+        a = load_sweep(spec, [0.5, 8.0], workers=0)
+        b = load_sweep(legacy, [0.5, 8.0], workers=0)
+        for pa, pb in zip(a, b):
+            assert pa.stats == pb.stats
+            assert pa.spec == pb.spec
+
+    def test_load_sweep_rejects_closed_spec(self):
+        from repro.simulator.streaming import load_sweep
+
+        with pytest.raises(ParameterError, match="stream"):
+            load_sweep(ExperimentSpec(m=2, h=4), [1.0], workers=0)
+
+    def test_saturation_surface_as_one_sharded_sweep(self):
+        """The headline: rate x size x faults through run_grid, pooled
+        vs inline bit-identical, and each point equal to a direct
+        spec.run()."""
+        grid = ExperimentGrid(
+            mhk=[(2, 4, 1), (2, 5, 1)], loop="stream",
+            rates=[1.0, 16.0], fault_sets=[(), ((0, 5),)],
+            cycles=150, warmup=30,
+        )
+        pooled = run_grid(grid, workers=2)
+        inline = run_grid(grid, workers=0)
+        assert len(pooled.results) == 8
+        for a, b in zip(pooled.results, inline.results):
+            assert a.stats == b.stats
+        # spot-check one cell against a direct run
+        cell = grid.expand()[5]
+        assert pooled.results[5].stats == cell.run().stats
+        # high-rate cells saturate, low-rate cells do not
+        rows = pooled.rows()
+        assert any(r["delivery_ratio"] < 0.9 for r in rows)
+        assert any(r["delivery_ratio"] > 0.9 for r in rows)
+
+    def test_per_batch_sharding_still_exact(self):
+        from dataclasses import replace
+
+        spec = ExperimentSpec(m=2, h=5, k=1, packets=600, batches=4,
+                             shards=4, seed=2)
+        sharded = run_grid([spec], workers=2).results[0].run_stats
+        single = run_grid([replace(spec, shards=1)],
+                          workers=0).results[0].run_stats
+        assert sharded == single
+
+    def test_mixed_loop_grid_runs(self):
+        closed = ExperimentSpec(m=2, h=4, packets=100)
+        stream = ExperimentSpec(m=2, h=4, loop="stream", rate=1.0,
+                                cycles=100, warmup=10)
+        res = run_grid([closed, stream], workers=0)
+        assert res.results[0].run_stats.injected == 100
+        assert res.results[1].stats.offered > 0
+        # aggregate covers only the closed cell
+        assert res.aggregate_stats.injected == 100
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims warn
+# ---------------------------------------------------------------------------
+
+class TestDeprecationWarnings:
+    def test_scenario_warns(self):
+        from repro.simulator import Scenario
+
+        with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
+            Scenario(m=2, h=4)
+
+    def test_stream_scenario_warns(self):
+        from repro.simulator import StreamScenario
+
+        with pytest.warns(DeprecationWarning, match="ExperimentSpec"):
+            StreamScenario(m=2, h=4)
+
+    def test_sweep_cli_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro run"):
+            assert main(["sweep", "--mhk", "2,4,1", "--packets", "50",
+                         "--workers", "0"]) == 0
+
+    def test_saturate_cli_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro run"):
+            assert main(["saturate", "--mhk", "2,4,1", "--cycles", "100",
+                         "--rates", "0.5", "--bisect", "0",
+                         "--workers", "0"]) == 0
+
+    def test_shim_results_alias_experiment_result(self):
+        from repro.simulator import ExperimentResult, ScenarioResult
+        from repro.simulator.streaming import StreamPointResult
+
+        assert ScenarioResult is ExperimentResult
+        assert StreamPointResult is ExperimentResult
+
+
+# ---------------------------------------------------------------------------
+# the `repro run` CLI
+# ---------------------------------------------------------------------------
+
+class TestRunCli:
+    def _write(self, tmp_path, payload, name="spec.json"):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_closed_spec(self, capsys, tmp_path):
+        spec = self._write(tmp_path, {"m": 2, "h": 4, "packets": 120,
+                                      "faults": [[0, 3]]})
+        out = tmp_path / "out.json"
+        assert main(["run", spec, "--workers", "0", "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "aggregate over 1 closed-loop cell(s)" in text
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "experiment"
+        assert payload["aggregate"]["injected"] == 120
+        assert payload["rows"][0]["scenario"].endswith("1flt")
+
+    def test_stream_spec_with_rates_ladder(self, capsys, tmp_path):
+        spec = self._write(tmp_path, {"experiment": {
+            "m": 2, "h": 4, "loop": "stream", "cycles": 200, "warmup": 40,
+        }})
+        out = tmp_path / "sat.json"
+        assert main(["run", spec, "--rates", "1,16", "--bisect", "1",
+                     "--workers", "0", "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "offered-load ladder" in text and "saturation" in text
+        payload = json.loads(out.read_text())
+        assert payload["bracketed"] is True
+        assert len(payload["points"]) == 3  # 2 rungs + 1 bisection probe
+
+    def test_grid_surface(self, capsys, tmp_path):
+        spec = self._write(tmp_path, {"grid": {
+            "mhk": [[2, 4, 1]], "loop": "stream", "rates": [1.0, 16.0],
+            "fault_sets": [[], [[0, 5]]], "cycles": 150, "warmup": 30,
+        }})
+        out = tmp_path / "surface.json"
+        assert main(["run", spec, "--workers", "0", "--check-single",
+                     "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "experiment grid: 4 cells (loop=stream)" in text
+        assert "identical stats: True" in text
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "grid"
+        assert len(payload["rows"]) == 4
+        assert {"rate", "delivery_ratio", "scenario"} <= set(payload["rows"][0])
+
+    def test_rates_on_closed_spec_rejected(self, capsys, tmp_path):
+        spec = self._write(tmp_path, {"m": 2, "h": 4})
+        assert main(["run", spec, "--rates", "1,2"]) == 2
+        assert "--rates" in capsys.readouterr().err
+
+    def test_bad_field_name_fails_fast(self, capsys, tmp_path):
+        spec = self._write(tmp_path, {"m": 2, "h": 4, "patern": "uniform"})
+        assert main(["run", spec]) == 1
+        assert "patern" in capsys.readouterr().err
+
+    def test_bad_backend_name_fails_fast(self, capsys, tmp_path):
+        spec = self._write(tmp_path, {"m": 2, "h": 4, "engine": "warp"})
+        assert main(["run", spec]) == 1
+        err = capsys.readouterr().err
+        assert "warp" in err and "object" in err
+
+    def test_wrapper_form_rejects_sibling_keys(self, capsys, tmp_path):
+        """Fields misplaced next to the {"grid"/"experiment": ...}
+        wrapper must error, not silently fall back to defaults."""
+        spec = self._write(tmp_path, {"grid": {"mhk": [[2, 4, 1]]},
+                                      "seeds": [0, 1, 2]})
+        assert main(["run", spec]) == 1
+        assert "seeds" in capsys.readouterr().err
+
+    def test_deprecated_commands_print_visible_notice(self, capsys):
+        """DeprecationWarning is hidden by default filters outside
+        __main__, so the CLI shims must also say it on stderr."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert main(["sweep", "--mhk", "2,4,1", "--packets", "40",
+                         "--workers", "0"]) == 0
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_registered_pattern_reaches_cli_choices(self, capsys):
+        """The documented extension recipe end-to-end: a pattern
+        registered after import is accepted by spec validation AND by
+        the CLI's live choices= lists."""
+        from repro.simulator.traffic import PATTERNS
+
+        if "test-ring" not in PATTERNS:
+            @PATTERNS.register("test-ring")
+            def _ring(n, msgs, rng):
+                ids = np.arange(n, dtype=np.int64)
+                base = np.column_stack([ids, (ids + 1) % n])
+                reps = -(-msgs // n) if msgs > 0 else 1
+                return np.tile(base, (reps, 1))[: msgs or n]
+
+        spec = ExperimentSpec(m=2, h=4, pattern="test-ring", packets=32)
+        assert spec.run().run_stats.delivered == 32
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert main(["sweep", "--mhk", "2,4,1", "--packets", "32",
+                         "--pattern", "test-ring", "--workers", "0"]) == 0
+        assert "test-ring" not in capsys.readouterr().err
+
+    def test_sample_spec_file_runs(self, capsys, tmp_path):
+        """The checked-in examples/experiment_spec.json (the CI artifact)
+        must stay runnable."""
+        import pathlib
+
+        sample = pathlib.Path(__file__).parent.parent / "examples"
+        sample = sample / "experiment_spec.json"
+        payload = json.loads(sample.read_text())
+        # shrink the horizon so the smoke test stays fast
+        payload["grid"]["cycles"] = 120
+        payload["grid"]["warmup"] = 20
+        payload["grid"]["rates"] = payload["grid"]["rates"][:2]
+        spec = self._write(tmp_path, payload)
+        assert main(["run", spec, "--workers", "0"]) == 0
+        assert "wall clock" in capsys.readouterr().out

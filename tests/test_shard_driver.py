@@ -456,5 +456,6 @@ class TestShardedEngine:
         assert eng.stats().mean_latency == 0.0
 
     def test_unknown_engine_rejected(self):
-        with pytest.raises(SimulationError):
+        # registry lookups raise a ValueError subclass naming the choices
+        with pytest.raises(ParameterError, match="engine.*object.*batch"):
             ReconfigurationController(2, 4, 1, engine="warp")

@@ -109,9 +109,10 @@ class TestDetourController:
         assert st.delivered + det.unreachable_pairs == 200
 
     def test_rejects_unknown_route_mode(self):
-        from repro.errors import SimulationError
+        # registry lookups raise a ValueError subclass naming the choices
+        from repro.errors import ParameterError
 
-        with pytest.raises(SimulationError, match="route_mode"):
+        with pytest.raises(ParameterError, match="route_mode.*bfs.*table"):
             DetourController(2, 4, route_mode="warp")
 
     @pytest.mark.parametrize("route_mode", ["bfs", "table"])

@@ -31,6 +31,15 @@ Two row kinds:
   histograms — not bit-equal latencies (equal-length paths with
   different tie-breaking contend differently; see
   ``tests/conformance/``).
+* ``driver="compile"`` — the per-epoch survivor-table *compile* itself:
+  the pre-vectorization scalar reference (one discovery-order BFS per
+  destination) vs the shipped frontier-at-a-time gather compiler.  The
+  generic columns hold (scalar, vector) seconds; ``identical_stats``
+  means the conformance contract for tables — identical reachability
+  and hop-optimal route lengths on every reachable pair (tie-breaking
+  between equal-length paths is allowed to differ).  ``packets`` counts
+  the reachable pairs compared; the simulation columns are zero (no
+  traffic runs).
 
 The report exits nonzero — naming each offending workload on stderr —
 whenever any row disagrees across engines, so CI can use it as a
@@ -80,12 +89,14 @@ FULL_SUITE = [
     ("controller", "uniform", 2, 8, 2, 20_000, [(5, 40)]),
     ("sweep", "uniform", 2, 9, 1, 40_000, [(0, 40)]),
     ("detour", "uniform", 2, 8, 1, 20_000, [3, 40]),
+    ("compile", "uniform", 2, 9, 1, 0, [3, 40]),
 ]
 QUICK_SUITE = [
     ("engine", "uniform", 2, 7, 1, 5_000, []),
     ("controller", "uniform", 2, 6, 1, 4_000, [(3, 9)]),
     ("sweep", "uniform", 2, 7, 1, 4_000, [(0, 9)]),
     ("detour", "uniform", 2, 6, 1, 3_000, [9]),
+    ("compile", "uniform", 2, 7, 1, 0, [9]),
 ]
 
 
@@ -218,6 +229,64 @@ def run_detour_row(pattern, m, h, k, packets, fault_nodes, seed=0):
     }
 
 
+def run_compile_row(pattern, m, h, k, packets, fault_nodes, seed=0):
+    """Race the pre-vectorization scalar survivor-table compile against
+    the shipped frontier-at-a-time compiler on one fault epoch; the
+    conformance check is identical reachability + hop-optimal route
+    lengths on every reachable pair (path tie-breaking may differ)."""
+    from types import SimpleNamespace
+
+    from repro.core.debruijn import debruijn
+    from repro.graphs.static_graph import StaticGraph
+    from repro.routing.fault_routing import survivor_route_table
+    from repro.routing.shortest_path import bfs_parents
+    from repro.routing.tables import UNREACHABLE, table_routes_batch
+
+    g = debruijn(m, h)
+    n = g.node_count
+    faults = sorted(int(v) for v in fault_nodes)
+
+    def scalar_compile():
+        # the pre-vectorization reference: one discovery-order scalar
+        # BFS per destination on the survivor graph, original node ids
+        e = g.edges()
+        alive = np.ones(n, dtype=bool)
+        alive[faults] = False
+        sel = alive[e[:, 0]] & alive[e[:, 1]]
+        sub = StaticGraph(n, e[sel])
+        table = np.full((n, n), UNREACHABLE, dtype=np.int64)
+        for d in range(n):
+            parent = bfs_parents(sub, d)
+            reach = parent >= 0
+            table[reach, d] = parent[reach]
+            table[d, d] = d
+        dead = np.array(faults, dtype=np.int64)
+        table[dead, dead] = UNREACHABLE
+        return table
+
+    t0 = time.perf_counter()
+    scalar_table = scalar_compile()
+    t_scalar = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    vector_table = survivor_route_table(g, faults).table
+    t_vector = time.perf_counter() - t0
+
+    reach = vector_table != UNREACHABLE
+    srcs, dsts = np.nonzero(reach)
+    identical = np.array_equal(reach, scalar_table != UNREACHABLE)
+    if identical and srcs.size:
+        _, off_v = table_routes_batch(vector_table, srcs, dsts)
+        _, off_s = table_routes_batch(scalar_table, srcs, dsts)
+        identical = np.array_equal(np.diff(off_v), np.diff(off_s))
+    st = SimpleNamespace(cycles=0, delivered=0, dropped=0)
+    return t_scalar, t_vector, st, identical, int(srcs.size), {
+        "nodes": n,
+        "faults_applied": len(faults),
+        "scalar_seconds": round(t_scalar, 4),
+        "vector_seconds": round(t_vector, 4),
+    }
+
+
 def run_config(driver, pattern, m, h, k, packets, faults, seed=0, workers=None):
     extra = {}
     if driver == "engine":
@@ -234,6 +303,10 @@ def run_config(driver, pattern, m, h, k, packets, faults, seed=0, workers=None):
         )
     elif driver == "detour":
         t_obj, t_bat, st, identical, count, extra = run_detour_row(
+            pattern, m, h, k, packets, faults, seed
+        )
+    elif driver == "compile":
+        t_obj, t_bat, st, identical, count, extra = run_compile_row(
             pattern, m, h, k, packets, faults, seed
         )
     else:
@@ -268,7 +341,8 @@ def main(argv=None) -> int:
     for cfg in suite:
         row = run_config(*cfg, workers=args.workers)
         rows.append(row)
-        sides = {"sweep": ("single", "sharded"), "detour": ("bfs", "table")}
+        sides = {"sweep": ("single", "sharded"), "detour": ("bfs", "table"),
+                 "compile": ("scalar", "vector")}
         left, right = sides.get(row["driver"], ("object", "batch"))
         print(
             f"{row['driver']:>10} {row['pattern']:>10} "
