@@ -16,6 +16,7 @@ from repro.experiments import ExperimentGrid, ExperimentSpec
 from repro.simulator import (
     ReconfigurationController,
     ShardStats,
+    WorkerPool,
     make_pattern,
     run_grid,
 )
@@ -82,6 +83,32 @@ def test_sharded_engine_behind_controller(benchmark):
     sa, sb = once(benchmark, both)
     assert sa == sb
     assert sa.delivered == 30_000
+
+
+def test_warm_pool_reuses_workers_across_sweeps(benchmark):
+    """One persistent WorkerPool rides three back-to-back sweeps: every
+    repeat's statistics are bit-identical to the cold (ephemeral-pool)
+    dispatch, and the spawn counter proves no respawn ever happened."""
+    grid = ExperimentGrid(
+        mhk=[(2, 7, 1)],
+        patterns=["uniform", "hotspot"],
+        loads=[4_000],
+        fault_sets=[(), ((0, 20),)],
+        seeds=[0],
+    )
+
+    def warm_sweeps():
+        with WorkerPool(workers=2) as pool:
+            results = [run_grid(grid, pool=pool) for _ in range(3)]
+            return results, pool.spawned
+
+    warm, spawned = once(benchmark, warm_sweeps)
+    assert spawned <= 2
+    cold = run_grid(grid, workers=2)
+    for w in warm:
+        assert w.aggregate_stats == cold.aggregate_stats
+        for a, b in zip(w.results, cold.results):
+            assert a.run_stats == b.run_stats
 
 
 def test_merge_scales_vectorized(benchmark):

@@ -249,6 +249,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     from repro.analysis.reporting import format_table
     from repro.experiments import run_grid
+    from repro.simulator.pool import WorkerPool
     from repro.simulator.shard_driver import ShardStats
     from repro.simulator.streaming import find_saturation
 
@@ -261,11 +262,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if rates is not None:
         # open-loop saturation ladder: sweep the rates in parallel, then
-        # bracket + bisect the saturation point
-        res = find_saturation(
-            target, rates, bisect=args.bisect, threshold=args.threshold,
-            workers=args.workers,
-        )
+        # bracket + bisect the saturation point; one warm pool serves
+        # the whole ladder
+        with WorkerPool(workers=args.workers,
+                        chunk_size=args.chunk_size) as run_pool:
+            res = find_saturation(
+                target, rates, bisect=args.bisect, threshold=args.threshold,
+                pool=run_pool,
+            )
         print(f"{target.label} — offered-load ladder")
         print(format_table(res.curve()))
         if res.bracketed:
@@ -301,7 +305,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     specs = [target] if kind == "experiment" else target
     if kind == "grid":
         print(f"experiment grid: {len(target)} cells (loop={target.loop})")
-    result = run_grid(specs, workers=args.workers, chunk_size=args.chunk_size)
+    with WorkerPool(workers=args.workers,
+                    chunk_size=args.chunk_size) as run_pool:
+        result = run_grid(specs, pool=run_pool)
     rows = result.rows()
     closed = [r for r in result.results if isinstance(r.stats, ShardStats)]
     streamed = [r for r in result.results if not isinstance(r.stats, ShardStats)]

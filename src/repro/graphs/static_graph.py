@@ -68,7 +68,10 @@ class StaticGraph:
     [0, 2]
     """
 
-    __slots__ = ("_n", "_indptr", "_indices", "_edge_count", "_hash", "_edge_keys")
+    __slots__ = (
+        "_n", "_indptr", "_indices", "_edge_count", "_hash", "_edge_keys",
+        "_shm",
+    )
 
     def __init__(self, num_nodes: int, edges: Iterable | np.ndarray = ()):
         n = int(num_nodes)
@@ -105,6 +108,7 @@ class StaticGraph:
         self._n = n
         self._hash: int | None = None
         self._edge_keys: np.ndarray | None = None
+        self._shm = None  # keep-alive handle when CSR lives in shared memory
 
     # -- basic accessors ---------------------------------------------------
 
@@ -271,6 +275,73 @@ class StaticGraph:
         if e.shape[0] == 0:
             return True
         return bool(other.has_edges(e[:, 0], e[:, 1]).all())
+
+    # -- shared-memory plane -----------------------------------------------
+
+    def to_shm(self, *, name: str | None = None):
+        """Export the CSR arrays into one shared-memory segment.
+
+        Returns the owning :class:`repro.shm.ShmBlock`; any process can
+        rebuild a zero-copy view of this graph from its ``.name`` via
+        :meth:`from_shm`.  The caller owns the segment's lifecycle —
+        ``unlink()`` it once no worker needs the graph (see
+        :mod:`repro.shm` for the ownership contract).  Raises
+        :class:`repro.shm.ShmError` where shared memory is unavailable;
+        gate on :func:`repro.shm.shm_available` and fall back to
+        pickling the graph itself.
+        """
+        from repro.shm import export_arrays
+
+        return export_arrays(
+            {"indptr": self._indptr, "indices": self._indices}, name=name
+        )
+
+    @classmethod
+    def from_shm(cls, name: str) -> "StaticGraph":
+        """Attach to a graph exported by :meth:`to_shm` — zero copy.
+
+        The returned graph's CSR arrays are read-only views straight
+        into the shared segment (the graph holds the mapping alive);
+        everything else (``node_count``, ``edge_count``) is derived from
+        the array shapes, so attaching is O(1) regardless of graph size.
+        """
+        from repro.shm import attach_arrays
+
+        arrays, block = attach_arrays(name)
+        g = cls.__new__(cls)
+        g._indptr = arrays["indptr"]
+        g._indices = arrays["indices"]
+        g._n = int(g._indptr.shape[0]) - 1
+        g._edge_count = int(g._indices.shape[0]) // 2
+        g._hash = None
+        g._edge_keys = None
+        g._shm = block
+        return g
+
+    def close_shm(self) -> None:
+        """Drop an attached mapping (no-op for ordinary graphs).  The
+        CSR views become invalid once the segment is also unlinked."""
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self):
+        # a shm-attached graph pickles by value: materialize the views
+        # (a worker cannot assume the receiving side sees the segment)
+        state = {s: getattr(self, s) for s in StaticGraph.__slots__}
+        if state["_shm"] is not None:
+            state["_indptr"] = np.array(self._indptr)
+            state["_indices"] = np.array(self._indices)
+            state["_edge_keys"] = None
+            state["_shm"] = None
+        return (None, state)
+
+    def __setstate__(self, state):
+        _, slots = state
+        for k, v in slots.items():
+            setattr(self, k, v)
 
     # -- dunder / misc -----------------------------------------------------
 

@@ -1,0 +1,256 @@
+"""Zero-copy shared-memory plane for NumPy array bundles.
+
+Worker processes of the persistent :class:`~repro.simulator.pool.WorkerPool`
+repeatedly receive the *same* large read-only arrays — a
+:class:`~repro.graphs.static_graph.StaticGraph`'s CSR arrays, a compiled
+:class:`~repro.routing.tables.RouteTable` — and pickling those per task
+(or re-faulting fork-COW pages per touch) is pure overhead.  This module
+packs a named bundle of arrays into **one**
+:mod:`multiprocessing.shared_memory` segment that any process can attach
+to and view without copying a byte:
+
+* :func:`export_arrays` — create a segment, copy the arrays in once,
+  return a :class:`ShmBlock` handle (the *owner*: only it unlinks).
+* :func:`attach_arrays` — map an existing segment by name and return
+  read-only zero-copy NumPy views plus the keep-alive handle.
+* :func:`shm_available` — probed once; ``False`` (no ``/dev/shm``,
+  platform without POSIX shared memory) selects the pickle fallback in
+  the callers.
+
+Segment layout: an 8-byte little-endian length prefix, a pickled
+manifest ``[(name, dtype, shape, offset), ...]``, then the raw array
+bytes at 16-byte-aligned offsets.
+
+Lifecycle contract
+------------------
+The *creator* owns the segment: it must call :meth:`ShmBlock.unlink`
+(idempotent) when no process needs the data anymore — segments outlive
+processes, so a leaked name holds kernel memory until reboot.
+Attachers only ever :meth:`ShmBlock.close` their mapping; the attach
+path avoids creating a resource-tracker registration of its own
+(``track=False`` on 3.13+; see :func:`_attach_untracked` for why the
+3.10–3.12 duplicate registration is harmless for multiprocessing-started
+workers).
+"""
+
+from __future__ import annotations
+
+import pickle
+import secrets
+import struct
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["ShmBlock", "export_arrays", "attach_arrays", "shm_available"]
+
+_ALIGN = 16
+_LEN = struct.Struct("<q")  # manifest length prefix
+
+_available: bool | None = None
+
+#: Segments whose mapping could not be released because NumPy views
+#: still alias it.  Holding the handle keeps ``SharedMemory.__del__``
+#: from re-raising the BufferError as an unraisable warning at GC time;
+#: the mapping itself is reclaimed at process exit either way.
+_unreleased: list = []
+
+
+class ShmError(ReproError):
+    """A shared-memory export/attach failed (missing segment, malformed
+    manifest, or platform without POSIX shared memory)."""
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory works here (probed once, cached).
+
+    The probe actually creates and unlinks a tiny segment, so a mounted
+    but unwritable ``/dev/shm`` (locked-down containers) reports
+    ``False`` and callers fall back to pickled payloads.
+    """
+    global _available
+    if _available is None:
+        try:
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(
+                create=True, size=_ALIGN, name=f"repro_probe_{secrets.token_hex(4)}"
+            )
+            seg.close()
+            seg.unlink()
+            _available = True
+        except Exception:
+            _available = False
+    return _available
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _attach_untracked(name: str):
+    """Attach to an existing segment without adding a resource-tracker
+    registration of our own (``track=False``, Python 3.13+).
+
+    On 3.10–3.12 attaching always registers, but that is harmless here:
+    every attacher is a ``multiprocessing`` child sharing the *parent's*
+    tracker (both fork and spawn pass the tracker fd down), and the
+    tracker's registry is a set — the attach-side duplicate collapses
+    into the owner's create-time entry, and the owner's ``unlink()``
+    clears it exactly once.  Do NOT "fix" this with
+    ``resource_tracker.unregister`` on the attach side: that unbalances
+    the shared set and the owner's unlink then logs KeyError noise from
+    the tracker process.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # 3.13+
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+class ShmBlock:
+    """Handle on one shared-memory segment holding an array bundle.
+
+    The creating process gets ``owner=True`` and is responsible for
+    :meth:`unlink`; attached handles only :meth:`close` their mapping.
+    Both operations are idempotent, and a garbage-collected owner
+    unlinks as a last resort (explicit lifecycle is still the contract —
+    finalizers give no timing guarantees).
+    """
+
+    __slots__ = ("_shm", "name", "owner", "__weakref__")
+
+    def __init__(self, shm, *, owner: bool):
+        self._shm = shm
+        self.name = shm.name
+        self.owner = owner
+
+    @property
+    def buf(self):  # memoryview of the whole segment
+        if self._shm is None:
+            raise ShmError(f"shared-memory block {self.name} is closed")
+        return self._shm.buf
+
+    def close(self) -> None:
+        """Drop this process's mapping (views into it become invalid)."""
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:
+                # live NumPy views still hold exported pointers; park the
+                # handle so the mapping survives them (and its __del__
+                # never re-raises) — reclaimed at process exit
+                _unreleased.append(self._shm)
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Remove the segment system-wide (owner only; idempotent)."""
+        if not self.owner:
+            return
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - views outlive the owner
+            _unreleased.append(shm)
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "ShmBlock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink() if self.owner else self.close()
+
+    def __del__(self):  # pragma: no cover - GC backstop, timing varies
+        try:
+            self.unlink() if self.owner else self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._shm is None else "open"
+        return f"ShmBlock({self.name!r}, owner={self.owner}, {state})"
+
+
+def export_arrays(arrays: Mapping[str, np.ndarray], *, name: str | None = None) -> ShmBlock:
+    """Copy an array bundle into one fresh shared-memory segment.
+
+    Returns the owning :class:`ShmBlock`; its :attr:`~ShmBlock.name` is
+    what :func:`attach_arrays` (in any process) takes.  Array order,
+    dtypes and shapes round-trip exactly.  Raises :class:`ShmError` when
+    shared memory is unavailable — callers gate on :func:`shm_available`
+    to pick the pickle fallback instead.
+    """
+    if not shm_available():
+        raise ShmError(
+            "POSIX shared memory is unavailable on this platform; use the "
+            "pickle payload path (see shm_available())"
+        )
+    from multiprocessing import shared_memory
+
+    items = [(k, np.ascontiguousarray(v)) for k, v in arrays.items()]
+    manifest = []
+    offset = 0
+    for k, v in items:
+        offset = _align(offset)
+        manifest.append((k, v.dtype.str, v.shape, offset))
+        offset += v.nbytes
+    meta = pickle.dumps(manifest, protocol=pickle.HIGHEST_PROTOCOL)
+    data_start = _align(_LEN.size + len(meta))
+    size = max(data_start + offset, _ALIGN)
+    seg = shared_memory.SharedMemory(
+        create=True, size=size,
+        name=name or f"repro_{secrets.token_hex(8)}",
+    )
+    buf = seg.buf
+    buf[: _LEN.size] = _LEN.pack(len(meta))
+    buf[_LEN.size: _LEN.size + len(meta)] = meta
+    for (k, dtype, shape, rel), (_, v) in zip(manifest, items):
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        dst = np.frombuffer(buf, dtype=dtype, count=count,
+                            offset=data_start + rel).reshape(shape)
+        dst[...] = v
+        del dst  # release the exported buffer before any close()
+    return ShmBlock(seg, owner=True)
+
+
+def attach_arrays(name: str) -> tuple[dict[str, np.ndarray], ShmBlock]:
+    """Map the segment ``name`` and view its arrays without copying.
+
+    Returns ``(arrays, block)``: read-only views plus the keep-alive
+    handle — the views alias the mapping, so hold the block as long as
+    the arrays are in use and :meth:`ShmBlock.close` it after.  Raises
+    :class:`ShmError` when the segment does not exist (unlinked early,
+    or a name typo).
+    """
+    try:
+        seg = _attach_untracked(name)
+    except FileNotFoundError:
+        raise ShmError(
+            f"shared-memory segment {name!r} does not exist (already "
+            f"unlinked, or never exported)"
+        ) from None
+    block = ShmBlock(seg, owner=False)
+    buf = seg.buf
+    (meta_len,) = _LEN.unpack(bytes(buf[: _LEN.size]))
+    if not 0 < meta_len <= len(buf) - _LEN.size:
+        block.close()
+        raise ShmError(f"segment {name!r} has a malformed manifest")
+    manifest = pickle.loads(bytes(buf[_LEN.size: _LEN.size + meta_len]))
+    data_start = _align(_LEN.size + meta_len)
+    out: dict[str, np.ndarray] = {}
+    for k, dtype, shape, rel in manifest:
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        view = np.frombuffer(buf, dtype=dtype, count=count,
+                             offset=data_start + rel).reshape(shape)
+        view.flags.writeable = False
+        out[k] = view
+    return out, block

@@ -65,6 +65,7 @@ from repro.simulator.faults import (
     FaultScenario,
     ReconfigurationController,
 )
+from repro.simulator.pool import GraphHandle, WorkerPool
 from repro.simulator.shard_driver import (
     ExperimentResult,
     GridResult,
@@ -140,6 +141,7 @@ __all__ = [
     "ROUTE_MODES",
     "make_engine",
     "ExperimentResult",
+    "GraphHandle",
     "GridResult",
     "Scenario",
     "ScenarioGrid",
@@ -147,5 +149,6 @@ __all__ = [
     "ShardDriver",
     "ShardedEngine",
     "ShardStats",
+    "WorkerPool",
     "run_grid",
 ]

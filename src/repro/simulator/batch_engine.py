@@ -391,6 +391,33 @@ class BatchEngine:
             self._in_flight += 1
             self._file(base, (pid, ptr, key, seq))
             return
+        if key.size <= 8:
+            # small-batch path: the congested phase of a drain joins a
+            # handful of packets per cycle, where the segmented pass
+            # below is all fixed overhead.  Replaying the scalar update
+            # sequentially in stable key order assigns the identical
+            # slots and seqs (the group formulas are its closed form).
+            ko = key.tolist()
+            order = sorted(range(key.size), key=ko.__getitem__)
+            eids = self._queue_ids(key)
+            earliest = self.cycle + 1
+            cap = self.link_capacity
+            ns, qu = self._q_next_slot, self._q_used
+            seq0 = self._seq
+            for rank, i in enumerate(order):
+                e = int(eids[i])
+                next_slot = int(ns[e])
+                base = next_slot if next_slot > earliest else earliest
+                used = int(qu[e]) if next_slot == base else 0
+                ns[e] = base + (used + 1) // cap
+                qu[e] = (used + 1) % cap
+                self._file(base, (
+                    pid[i:i + 1], ptr[i:i + 1], key[i:i + 1],
+                    np.array([seq0 + rank], dtype=_I64),
+                ))
+            self._seq += key.size
+            self._in_flight += key.size
+            return
         order = np.argsort(key, kind="stable")
         pid, ptr, key = pid[order], ptr[order], key[order]
         size = key.size
@@ -513,11 +540,88 @@ class BatchEngine:
             self._join(pid[cont], ptr[cont], node[cont] * self._n + nxt[cont])
         return delivered
 
+    def _coalesce_terminal_tail(self, start: int, max_cycles: int) -> int:
+        """Settle the whole calendar in one pass iff every remaining
+        packet is terminal (delivers or drops on its next departure).
+
+        The contention tail of a drain — a hotspot queue emptying
+        ``link_capacity`` packets per cycle — leaves thousands of tiny
+        buckets, and :meth:`step` pays its fixed NumPy overhead per
+        bucket.  But a terminal packet never calls :meth:`_join`: it
+        touches no queue state, consumes no future capacity slot, and
+        its outcome is independent of every other packet's processing
+        order.  So once *nothing* left in the calendar can continue, the
+        per-cycle loop is pure overhead and the tail can be settled
+        wholesale: stamp each delivery with its (already exact)
+        departure cycle, mark the drops, advance the clock to the last
+        bucket.  Bit-identical to stepping — the property and golden
+        tests enforce it.
+
+        Returns ``-1`` when applied.  Otherwise the calendar still holds
+        a continuer (or a bucket beyond the ``max_cycles`` budget, which
+        must raise through the normal loop) and the probe bails on the
+        spot — a failed probe costs one chunk scan, not a calendar walk.
+        """
+        settled = []  # (cycle, pid, deliver-mask) per chunk
+        last = start
+        for cyc, chunk_list in self._buckets.items():
+            if cyc - start > max_cycles:
+                return 1
+            if cyc > last:
+                last = cyc
+            for pid, ptr, _key, _seq in chunk_list:
+                ptr1 = ptr + 1
+                node = self._flat[ptr1]
+                node_dead = self._dead[node]
+                at_dst = ptr1 == self._off[pid + 1] - 1
+                cand = ~at_dst & ~node_dead
+                if cand.any():
+                    nxt = self._flat[np.where(cand, ptr1 + 1, ptr1)]
+                    if (cand & ~self._dead[nxt]
+                            & ~self._links_dead(node, nxt)).any():
+                        return 1  # a genuine continuer: bail now
+                settled.append((cyc, pid, at_dst & ~node_dead))
+        if not settled:
+            return 1
+        pid = np.concatenate([s[1] for s in settled])
+        deliver = np.concatenate([s[2] for s in settled])
+        cycs = np.repeat(
+            np.array([s[0] for s in settled], dtype=_I64),
+            np.array([s[1].size for s in settled], dtype=_I64),
+        )
+        self._delivered_at[pid[deliver]] = cycs[deliver]
+        drop = ~deliver
+        if drop.any():
+            self._dropped[pid[drop]] = True
+        self._in_flight -= pid.size
+        self.cycle = int(last)
+        self._buckets.clear()
+        self._bucket_heap.clear()
+        return -1
+
     def run(self, max_cycles: int = 1_000_000) -> RunStats:
         """Step until all traffic drains (delivered or dropped), skipping
-        straight over cycles where nothing is scheduled to move."""
+        straight over cycles where nothing is scheduled to move.
+
+        The drain loop periodically probes
+        :meth:`_coalesce_terminal_tail`: once every remaining packet is
+        on its final hop (the contention tail), the rest of the calendar
+        settles in one vectorized pass instead of one :meth:`step` per
+        occupied cycle — same statistics, bit for bit.
+        """
         start = self.cycle
+        retry_after = 0
+        backoff = 4
         while self._in_flight:
+            if retry_after <= 0:
+                if self._coalesce_terminal_tail(start, max_cycles) < 0:
+                    break
+                # exponential backoff between probes: early in a drain
+                # the calendar always holds a continuer and the probe
+                # fails fast; capping the backoff bounds the steps a
+                # tail that turns fully terminal between probes pays
+                retry_after = backoff
+                backoff = min(backoff * 2, 256)
             upcoming = self.next_departure_cycle()
             if upcoming - start > max_cycles:
                 raise SimulationError(
@@ -525,6 +629,7 @@ class BatchEngine:
                 )
             self.cycle = upcoming - 1
             self.step()
+            retry_after -= 1
         return self.stats()
 
     # -- records ------------------------------------------------------------

@@ -1,0 +1,431 @@
+"""Persistent warm worker pool and the zero-copy graph task payload.
+
+Before this module, every :meth:`ShardDriver.map` call built a process
+pool from scratch: spawn workers, ship tasks, join, tear down.  One grid
+cell or one saturation-ladder rung paid the full pool-startup tax, and
+every task carried its graph by pickle.  :class:`WorkerPool` keeps the
+workers *alive across map calls*:
+
+* **long-lived workers** — processes start once (lazily, up to the
+  pool's target), then sit on the shared task queue; a second ``map``
+  reuses them with zero spawn cost;
+* **chunked work stealing** — same dispatch discipline as the ephemeral
+  pool: tasks go onto one queue in chunks, idle workers pull the next
+  chunk, so a slow scenario delays the pool by one chunk at most;
+* **generations** — each ``map`` call is a tagged generation, so
+  leftovers of an aborted call (a failed task, a killed worker) are
+  recognized and dropped instead of corrupting the next call;
+* **liveness** — a worker dying *mid-chunk* (OOM kill, segfault) is
+  detected by claim/finish accounting and raised as
+  :class:`~repro.errors.SimulationError`; a worker dying *between*
+  chunks is replaced silently and the map completes;
+* **explicit lifecycle** — ``close()`` (or the context manager) sends
+  one sentinel per worker, joins, and terminates stragglers; workers are
+  daemons, so even an abandoned pool cannot outlive the parent.
+
+:class:`~repro.simulator.shard_driver.ShardDriver` is a thin facade over
+this class: it either *borrows* a caller-supplied pool (the warm path —
+``run_grid``/``load_sweep``/``find_saturation`` thread one pool through
+a whole sweep) or manages an ephemeral one per ``map`` call
+(bit-identical to the historical behavior).
+
+The zero-copy side: :class:`GraphHandle` is the task payload that names
+a :meth:`StaticGraph.to_shm` segment instead of carrying the pickled
+graph.  Workers :meth:`~GraphHandle.attach` to the segment — a zero-copy
+O(1) mapping, cached per worker process so a thousand shards of the same
+graph map it exactly once.  When shared memory is unavailable
+(:func:`repro.shm.shm_available` is ``False``), callers keep passing the
+graph itself and nothing changes — the pickle fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as _queue
+import traceback
+import weakref
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import SimulationError
+from repro.graphs.static_graph import StaticGraph
+
+__all__ = ["WorkerPool", "GraphHandle", "resolve_graph"]
+
+
+def _resolve_workers(workers: int | None, n_tasks: int) -> int:
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(0, min(int(workers), n_tasks))
+
+
+def _map_inline(func: Callable, tasks: Sequence) -> list:
+    """The ``workers <= 1`` reference path: same code, same failure
+    contract, no processes."""
+    results = []
+    for idx, task in enumerate(tasks):
+        try:
+            results.append(func(task))
+        except Exception as exc:
+            raise SimulationError(
+                f"shard worker failed on task {idx} ({task!r}): "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+    return results
+
+
+# ---------------------------------------------------------------------------
+# worker-side shared-memory attachments
+# ---------------------------------------------------------------------------
+
+#: Per-process cache of attached shared graphs, keyed by segment name.
+#: Workers are persistent, so the first shard naming a segment maps it
+#: and every later shard reuses the mapping — the whole point of the
+#: zero-copy plane.  Bounded: a sweep only ever has a handful of live
+#: segments, so the cache is flushed wholesale if it somehow grows.
+_ATTACH_CACHE: dict[str, StaticGraph] = {}
+_ATTACH_CACHE_MAX = 16
+
+
+def _clear_attach_cache() -> None:
+    while _ATTACH_CACHE:
+        _, g = _ATTACH_CACHE.popitem()
+        try:
+            g.close_shm()
+        except Exception:  # pragma: no cover - unmapped at process exit anyway
+            pass
+
+
+@dataclass(frozen=True)
+class GraphHandle:
+    """A task payload that *names* a shared-memory graph.
+
+    Shards carrying a handle pickle as a few dozen bytes regardless of
+    graph size; the worker side :meth:`attach`\\ es to the segment
+    zero-copy (cached per process).  The exporting side — e.g.
+    :class:`~repro.simulator.shard_driver.ShardedEngine` — owns the
+    segment and unlinks it when the sweep is over.
+    """
+
+    name: str
+    nodes: int
+    edges: int
+
+    @classmethod
+    def export(cls, graph: StaticGraph) -> tuple["GraphHandle", "object"]:
+        """Export ``graph`` and return ``(handle, owning ShmBlock)``.
+        The caller keeps the block and unlinks it after the last worker
+        task that may attach has finished."""
+        block = graph.to_shm()
+        return (
+            cls(name=block.name, nodes=graph.node_count, edges=graph.edge_count),
+            block,
+        )
+
+    def attach(self) -> StaticGraph:
+        """The shared graph, as a zero-copy read-only view (cached)."""
+        g = _ATTACH_CACHE.get(self.name)
+        if g is None:
+            if len(_ATTACH_CACHE) >= _ATTACH_CACHE_MAX:
+                _clear_attach_cache()
+            g = StaticGraph.from_shm(self.name)
+            _ATTACH_CACHE[self.name] = g
+        return g
+
+
+def resolve_graph(payload: "StaticGraph | GraphHandle") -> StaticGraph:
+    """Turn a task's graph payload — pickled graph or shared-memory
+    handle — into a usable :class:`StaticGraph` (worker side)."""
+    if isinstance(payload, GraphHandle):
+        return payload.attach()
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# the persistent pool
+# ---------------------------------------------------------------------------
+
+def _pool_worker(worker_seq: int, task_q, result_q) -> None:
+    """Persistent worker loop (child process).
+
+    Protocol: pull ``(gen, chunk_id, func, [(idx, task), ...])`` items
+    until the ``None`` sentinel; announce each chunk with a ``claim``
+    message *before* running it and a ``fin`` message after, so the
+    parent can tell a worker that died mid-chunk (tasks lost → error)
+    from one that died idle (replace and continue).  Task exceptions are
+    reported per task; KeyboardInterrupt/SystemExit propagate so Ctrl-C
+    actually stops the worker.
+    """
+    try:
+        while True:
+            try:
+                item = task_q.get()
+            except (EOFError, OSError):  # parent closed the queue
+                return
+            if item is None:
+                return
+            gen, chunk_id, func, items = item
+            result_q.put(("claim", gen, chunk_id, worker_seq))
+            for idx, task in items:
+                try:
+                    result_q.put(("done", gen, idx, True, func(task)))
+                except Exception as exc:
+                    result_q.put(
+                        ("done", gen, idx, False,
+                         f"{type(exc).__name__}: {exc}\n"
+                         f"{traceback.format_exc()}")
+                    )
+            result_q.put(("fin", gen, chunk_id, worker_seq))
+    finally:
+        _clear_attach_cache()
+
+
+def _terminate_procs(procs: list) -> None:
+    """GC backstop for an abandoned pool: don't leave orphans around."""
+    for p in procs:
+        if p.is_alive():  # pragma: no cover - abandoned-pool path
+            p.terminate()
+
+
+class WorkerPool:
+    """A persistent chunked work-stealing process pool.
+
+    Create once, call :meth:`map` many times, :meth:`close` when done
+    (or use it as a context manager).  Workers spawn lazily up to
+    ``workers`` (default ``os.cpu_count()``) and are *reused* across
+    calls — :attr:`spawned` counts total process launches, so a grid of
+    200 cells over 4 workers reports 4, not 800.
+
+    ``map`` semantics match the historical ephemeral pool bit-for-bit:
+    results in task order, task failures re-raised as
+    :class:`SimulationError` naming the task, dead workers detected
+    instead of hanging, and ``min(workers, len(tasks)) <= 1`` running
+    inline in-process with zero spawns.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process cap.  ``None`` = ``os.cpu_count()``; ``0``/``1``
+        = always inline.
+    chunk_size:
+        Tasks per steal; ``None`` picks ``ceil(n / (workers * 4))`` per
+        map call.
+    start_method:
+        ``multiprocessing`` start method; ``None`` prefers ``fork``
+        (cheap, Linux) and falls back to ``spawn``.
+    """
+
+    def __init__(self, workers: int | None = None, *,
+                 chunk_size: int | None = None,
+                 start_method: str | None = None):
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self.spawned = 0          # total processes ever launched (tests/benches)
+        self._procs: list = []    # mutated in place: the finalizer sees updates
+        self._ctx = None
+        self._task_q = None
+        self._result_q = None
+        self._gen = 0
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _terminate_procs, self._procs)
+
+    # -- sizing -------------------------------------------------------------
+
+    @property
+    def target_workers(self) -> int:
+        """The pool's worker cap with ``None`` resolved to the CPU count."""
+        if self.workers is None:
+            return os.cpu_count() or 1
+        return max(0, int(self.workers))
+
+    def resolve_workers(self, n_tasks: int) -> int:
+        """Process count a ``map`` of ``n_tasks`` tasks would use
+        (``<= 1`` means inline)."""
+        return _resolve_workers(self.workers, n_tasks)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def alive_workers(self) -> int:
+        """Currently live worker processes (0 after :meth:`close`)."""
+        return sum(1 for p in self._procs if p.is_alive())
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _make_context(self):
+        import multiprocessing as mp
+
+        if self.start_method is not None:
+            return mp.get_context(self.start_method)
+        methods = mp.get_all_start_methods()
+        return mp.get_context("fork" if "fork" in methods else "spawn")
+
+    def _ensure_workers(self, n: int) -> None:
+        """Prune dead workers and spawn until ``n`` are live."""
+        if self._ctx is None:
+            self._ctx = self._make_context()
+            self._task_q = self._ctx.Queue()
+            self._result_q = self._ctx.Queue()
+        self._procs[:] = [p for p in self._procs if p.is_alive()]
+        while len(self._procs) < n:
+            seq = self.spawned
+            p = self._ctx.Process(
+                target=_pool_worker, args=(seq, self._task_q, self._result_q),
+                daemon=True,
+            )
+            p._pool_seq = seq
+            p.start()
+            self.spawned += 1
+            self._procs.append(p)
+
+    def _drain_task_queue(self) -> None:
+        """Discard undispatched chunks after an aborted generation."""
+        try:
+            while True:
+                self._task_q.get_nowait()
+        except _queue.Empty:
+            pass
+
+    # -- the work -----------------------------------------------------------
+
+    def map(self, func: Callable, tasks: Sequence) -> list:
+        """Run ``func`` over every task on the warm workers, preserving
+        input order.  See the class docstring for the exact contract."""
+        if self._closed:
+            raise SimulationError("WorkerPool is closed")
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        workers = self.resolve_workers(len(tasks))
+        if workers <= 1:
+            return _map_inline(func, tasks)
+
+        chunk = self.chunk_size or max(1, -(-len(tasks) // (workers * 4)))
+        indexed = list(enumerate(tasks))
+        chunks = [indexed[i: i + chunk] for i in range(0, len(indexed), chunk)]
+        self._ensure_workers(min(workers, len(chunks)))
+        self._gen += 1
+        gen = self._gen
+        for cid, c in enumerate(chunks):
+            self._task_q.put((gen, cid, func, c))
+
+        results: list = [None] * len(tasks)
+        received = [False] * len(tasks)
+        failure: tuple[int, str] | None = None
+        died = False
+        claims: dict[int, int] = {}      # chunk id -> worker seq
+        finished: set[int] = set()
+        respawn_budget = 2 * max(1, len(self._procs))
+        death_seen = False
+        quiet_rounds = 0
+        pending = len(tasks)
+        while pending:
+            try:
+                msg = self._result_q.get(timeout=0.5)
+            except _queue.Empty:
+                dead = [p for p in self._procs if not p.is_alive()]
+                if not dead:
+                    if death_seen and claims.keys() <= finished:
+                        # a death earlier this generation, and now
+                        # sustained silence with no claimed chunk in
+                        # flight: the dying worker consumed a chunk but
+                        # crashed before its claim message flushed — the
+                        # tasks are gone without a trace, so waiting any
+                        # longer would hang forever
+                        quiet_rounds += 1
+                        if quiet_rounds >= 4:
+                            died = True
+                            break
+                    continue
+                dead_ids = {p._pool_seq for p in dead}
+                lost_mid_chunk = any(
+                    cid not in finished
+                    for cid, w in claims.items() if w in dead_ids
+                )
+                if lost_mid_chunk or respawn_budget <= 0:
+                    died = True
+                    break
+                # died *between* chunks (external kill, OOM while idle):
+                # replace and keep going — no task was lost
+                death_seen = True
+                quiet_rounds = 0
+                respawn_budget -= len(dead)
+                self._ensure_workers(min(workers, len(chunks)))
+                continue
+            quiet_rounds = 0
+            if msg[1] != gen:
+                continue  # leftovers of an aborted earlier generation
+            kind = msg[0]
+            if kind == "claim":
+                claims[msg[2]] = msg[3]
+            elif kind == "fin":
+                finished.add(msg[2])
+            else:  # "done"
+                _, _, idx, ok, payload = msg
+                if ok:
+                    results[idx] = payload
+                elif failure is None:
+                    failure = (idx, payload)
+                received[idx] = True
+                pending -= 1
+        if died:
+            # surviving workers may still hold stale chunks; the
+            # generation tag makes their late results harmless, but the
+            # undispatched remainder must not run
+            self._drain_task_queue()
+        if failure is not None:
+            idx, message = failure
+            raise SimulationError(
+                f"shard worker failed on task {idx} ({tasks[idx]!r}): {message}"
+            )
+        if died:
+            lost = [i for i, got in enumerate(received) if not got]
+            raise SimulationError(
+                f"shard worker process(es) died without reporting "
+                f"(killed or crashed hard); {len(lost)} task(s) lost, "
+                f"first: {tasks[lost[0]]!r}"
+            )
+        return results
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the pool down: sentinel every worker, join, terminate
+        stragglers, release the queues.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        procs = list(self._procs)
+        self._procs.clear()
+        if self._task_q is not None:
+            for p in procs:
+                if p.is_alive():
+                    try:
+                        self._task_q.put(None)
+                    except Exception:  # pragma: no cover - queue torn down
+                        break
+        for p in procs:
+            p.join(timeout=10)
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - hung worker backstop
+                p.terminate()
+                p.join(timeout=5)
+        for q in (self._task_q, self._result_q):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        self._task_q = self._result_q = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else f"{self.alive_workers} live"
+        return (f"WorkerPool(workers={self.workers}, spawned={self.spawned}, "
+                f"{state})")

@@ -37,8 +37,14 @@ Entry points
 :func:`run_grid`           sweep specs/grids across workers (accepts
                            :class:`~repro.experiments.ExperimentGrid`,
                            :class:`~repro.experiments.ExperimentSpec`
-                           lists, and the legacy scenario types)
-:class:`ShardDriver`       the generic chunked work-stealing pool
+                           lists, and the legacy scenario types; pass
+                           ``pool=`` to reuse warm workers)
+:class:`ShardDriver`       the dispatch facade: borrows a warm
+                           :class:`~repro.simulator.pool.WorkerPool` or
+                           manages an ephemeral one per ``map`` call
+:class:`WorkerPool`        the persistent chunked work-stealing pool
+                           (re-exported from
+                           :mod:`repro.simulator.pool`)
 :class:`ShardedEngine`     ``engine="sharded"`` for the fault controllers
 :class:`ShardStats`        the mergeable statistics record
 :class:`ExperimentResult`  one executed spec's outcome (the legacy
@@ -61,9 +67,7 @@ which is also the reference the equivalence tests compare against.
 from __future__ import annotations
 
 import itertools
-import os
 import time
-import traceback
 import warnings
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Sequence
@@ -72,8 +76,16 @@ import numpy as np
 
 from repro.errors import ParameterError, SimulationError
 from repro.graphs.static_graph import StaticGraph
+from repro.shm import shm_available
 from repro.simulator.batch_engine import BatchEngine, validate_injection
 from repro.simulator.metrics import PacketArrays, RunStats
+from repro.simulator.pool import (
+    GraphHandle,
+    WorkerPool,
+    _map_inline,
+    _resolve_workers,
+    resolve_graph,
+)
 
 __all__ = [
     "ShardStats",
@@ -84,6 +96,7 @@ __all__ = [
     "GridResult",
     "ShardDriver",
     "ShardedEngine",
+    "WorkerPool",
     "run_grid",
 ]
 
@@ -551,50 +564,26 @@ class ScenarioGrid:
 
 
 # ---------------------------------------------------------------------------
-# the chunked work-stealing pool
+# the driver facade over the persistent pool
 # ---------------------------------------------------------------------------
 
-def _resolve_workers(workers: int | None, n_tasks: int) -> int:
-    if workers is None:
-        workers = os.cpu_count() or 1
-    return max(0, min(int(workers), n_tasks))
-
-
-def _pool_worker(func: Callable, task_q, result_q) -> None:
-    """Worker loop: steal the next chunk off the shared queue until the
-    sentinel arrives.  Runs in the child process."""
-    while True:
-        chunk = task_q.get()
-        if chunk is None:
-            return
-        for idx, task in chunk:
-            try:
-                result_q.put((idx, True, func(task)))
-            except Exception as exc:  # report task failures to the parent;
-                # KeyboardInterrupt/SystemExit propagate so Ctrl-C actually
-                # stops the worker instead of being swallowed per task
-                result_q.put(
-                    (idx, False, f"{type(exc).__name__}: {exc}\n"
-                                 f"{traceback.format_exc()}")
-                )
-
-
 class ShardDriver:
-    """A chunked work-stealing process pool for independent simulation
-    tasks.
+    """Dispatch facade for independent simulation tasks.
 
-    Tasks go onto one shared queue in chunks; idle workers pull the next
-    chunk whenever they finish — dynamic load balancing, so one slow
-    scenario (hotspot drains routinely run an order of magnitude longer
-    than uniform ones) delays the pool by at most one chunk, not by a
-    statically assigned stripe.
+    The actual chunked work-stealing process pool lives in
+    :class:`~repro.simulator.pool.WorkerPool`; a driver either *borrows*
+    a caller-supplied persistent pool (``pool=``) — the warm path, where
+    one set of workers serves a whole grid or saturation ladder — or
+    manages an ephemeral one per :meth:`map` call, which reproduces the
+    historical spawn-per-call behavior bit-for-bit (same chunking, same
+    result ordering, same failure contract).
 
     Why not ``concurrent.futures.ProcessPoolExecutor``: the bespoke pool
     keeps chunk granularity, result ordering, the inline ``workers<=1``
     reference path and the failure contract (a :class:`SimulationError`
-    naming the failed task, dead workers detected by liveness polling)
-    in ~100 explicit lines that the tests pin down.  The trade is that
-    rarer hazards the stdlib hardens against (a worker dying *while
+    naming the failed task, dead workers detected by claim/finish
+    accounting) in explicit lines that the tests pin down.  The trade is
+    that rarer hazards the stdlib hardens against (a worker dying *while
     holding* the task-queue lock) are accepted as out of scope.
 
     Parameters
@@ -603,6 +592,7 @@ class ShardDriver:
         Process count.  ``None`` = ``os.cpu_count()`` capped by the task
         count; ``0``/``1`` = run inline in this process (identical code
         path, no pool — the reference the equivalence tests use).
+        Ignored when ``pool`` is given (the pool sizes itself).
     chunk_size:
         Tasks per steal.  ``None`` picks ``ceil(n / (workers * 4))`` —
         four steals per worker on average, amortizing queue IPC while
@@ -610,29 +600,29 @@ class ShardDriver:
     start_method:
         ``multiprocessing`` start method; ``None`` prefers ``fork``
         (cheap, Linux) and falls back to ``spawn``.
+    pool:
+        A warm :class:`~repro.simulator.pool.WorkerPool` to borrow.  The
+        driver never closes a borrowed pool — lifecycle stays with the
+        caller (use the pool as a context manager around the sweep).
     """
 
     def __init__(self, workers: int | None = None, *,
                  chunk_size: int | None = None,
-                 start_method: str | None = None):
+                 start_method: str | None = None,
+                 pool: WorkerPool | None = None):
         self.workers = workers
         self.chunk_size = chunk_size
         self.start_method = start_method
+        self.pool = pool
 
     def resolve_workers(self, n_tasks: int) -> int:
         """The process count :meth:`map` would use for ``n_tasks`` tasks
         (``None`` resolves to ``os.cpu_count()`` capped by the task
         count; ``<= 1`` means inline).  Callers publishing results
         record this so curves carry their provenance."""
+        if self.pool is not None:
+            return self.pool.resolve_workers(n_tasks)
         return _resolve_workers(self.workers, n_tasks)
-
-    def _context(self):
-        import multiprocessing as mp
-
-        if self.start_method is not None:
-            return mp.get_context(self.start_method)
-        methods = mp.get_all_start_methods()
-        return mp.get_context("fork" if "fork" in methods else "spawn")
 
     def map(self, func: Callable, tasks: Sequence) -> list:
         """Run ``func`` over every task, preserving input order in the
@@ -643,87 +633,16 @@ class ShardDriver:
         tasks = list(tasks)
         if not tasks:
             return []
+        if self.pool is not None:
+            return self.pool.map(func, tasks)
         workers = _resolve_workers(self.workers, len(tasks))
         if workers <= 1:
-            results = []
-            for idx, task in enumerate(tasks):
-                try:
-                    results.append(func(task))
-                except Exception as exc:
-                    raise SimulationError(
-                        f"shard worker failed on task {idx} ({task!r}): "
-                        f"{type(exc).__name__}: {exc}"
-                    ) from exc
-            return results
-
-        import queue as _queue
-
-        chunk = self.chunk_size or max(1, -(-len(tasks) // (workers * 4)))
-        indexed = list(enumerate(tasks))
-        chunks = [indexed[i: i + chunk] for i in range(0, len(indexed), chunk)]
-
-        ctx = self._context()
-        task_q = ctx.Queue()
-        result_q = ctx.Queue()
-        for c in chunks:
-            task_q.put(c)
-        for _ in range(workers):
-            task_q.put(None)  # one sentinel per worker
-
-        procs = [
-            ctx.Process(
-                target=_pool_worker, args=(func, task_q, result_q), daemon=True
-            )
-            for _ in range(workers)
-        ]
-        for p in procs:
-            p.start()
-
-        results: list = [None] * len(tasks)
-        received = [False] * len(tasks)
-        failure: tuple[int, str] | None = None
-        died = False
-        try:
-            pending = len(tasks)
-            while pending:
-                try:
-                    idx, ok, payload = result_q.get(timeout=0.5)
-                except _queue.Empty:
-                    if any(p.is_alive() for p in procs):
-                        continue
-                    # every worker exited; anything still buffered arrives
-                    # within the grace get below, otherwise results are lost
-                    try:
-                        idx, ok, payload = result_q.get(timeout=0.5)
-                    except _queue.Empty:
-                        died = True
-                        break
-                if ok:
-                    results[idx] = payload
-                elif failure is None:
-                    failure = (idx, payload)
-                received[idx] = True
-                pending -= 1
-        finally:
-            for p in procs:
-                p.join(timeout=30)
-            for p in procs:
-                if p.is_alive():  # pragma: no cover - hung worker backstop
-                    p.terminate()
-                    p.join(timeout=5)
-        if failure is not None:
-            idx, message = failure
-            raise SimulationError(
-                f"shard worker failed on task {idx} ({tasks[idx]!r}): {message}"
-            )
-        if died:
-            lost = [i for i, got in enumerate(received) if not got]
-            raise SimulationError(
-                f"shard worker process(es) died without reporting "
-                f"(killed or crashed hard); {len(lost)} task(s) lost, "
-                f"first: {tasks[lost[0]]!r}"
-            )
-        return results
+            return _map_inline(func, tasks)
+        with WorkerPool(
+            workers=workers, chunk_size=self.chunk_size,
+            start_method=self.start_method,
+        ) as ephemeral:
+            return ephemeral.map(func, tasks)
 
 
 # ---------------------------------------------------------------------------
@@ -846,6 +765,7 @@ def run_grid(
     workers: int | None = None,
     chunk_size: int | None = None,
     driver: ShardDriver | None = None,
+    pool: WorkerPool | None = None,
 ) -> GridResult:
     """Sweep an experiment grid across a worker pool and reduce the
     shards.
@@ -861,10 +781,14 @@ def run_grid(
     worker finished first, and the merged closed-loop aggregate is
     bit-identical to running every cell inline (``workers=0``) — the
     reducer is exact.
+
+    ``pool`` borrows a warm :class:`~repro.simulator.pool.WorkerPool`
+    for the sweep (the caller keeps lifecycle); ``driver`` overrides the
+    whole dispatch facade and wins over ``pool``/``workers``.
     """
     specs = _as_specs(grid)
     tasks, owners = _expand_tasks(specs)
-    drv = driver or ShardDriver(workers=workers, chunk_size=chunk_size)
+    drv = driver or ShardDriver(workers=workers, chunk_size=chunk_size, pool=pool)
     t0 = time.perf_counter()
     raw = drv.map(_run_spec_task, tasks)
     seconds = time.perf_counter() - t0
@@ -878,7 +802,7 @@ def run_grid(
     return GridResult(
         results=merged,
         seconds=seconds,
-        workers=_resolve_workers(drv.workers, len(tasks)),
+        workers=drv.resolve_workers(len(tasks)),
     )
 
 
@@ -889,9 +813,13 @@ def run_grid(
 @dataclass(frozen=True)
 class _RouteShard:
     """A pre-routed injection batch, frozen with the fault state it was
-    validated against — everything a worker needs to drain it."""
+    validated against — everything a worker needs to drain it.
 
-    graph: StaticGraph
+    ``graph`` is either the graph itself (pickled across the process
+    boundary) or a :class:`~repro.simulator.pool.GraphHandle` naming a
+    shared-memory segment the worker attaches to zero-copy."""
+
+    graph: "StaticGraph | GraphHandle"
     link_capacity: int
     flat: np.ndarray
     offsets: np.ndarray
@@ -903,7 +831,7 @@ class _RouteShard:
 
 def _run_route_shard(shard: _RouteShard) -> ShardStats:
     """Drain one route shard in a fresh :class:`BatchEngine` (worker side)."""
-    be = BatchEngine(shard.graph, shard.link_capacity)
+    be = BatchEngine(resolve_graph(shard.graph), shard.link_capacity)
     for v in shard.dead_nodes:
         be.disable_node(v)
     for u, v in shard.dead_links:
@@ -931,15 +859,31 @@ class ShardedEngine:
     controllers go batch-at-a-time while events are pending precisely to
     bound that skew.  Use ``engine="batch"`` when exact mid-drain fault
     timing is the point of the experiment.
+
+    ``payload`` picks how shards carry the graph to the workers:
+    ``"shm"`` exports the CSR arrays once into a shared-memory segment
+    and ships a :class:`~repro.simulator.pool.GraphHandle` (zero-copy
+    attach per worker process); ``"pickle"`` ships the graph by value,
+    the historical behavior; ``"auto"`` (default) uses shared memory
+    when the platform supports it *and* the driver would actually cross
+    a process boundary, pickle otherwise.  Both payloads produce
+    bit-identical statistics — the property tests enforce it.  Close the
+    engine (or let it be garbage collected) to unlink the segment.
     """
 
     def __init__(self, graph: StaticGraph, link_capacity: int = 1, *,
                  workers: int | None = None,
-                 driver: ShardDriver | None = None):
+                 driver: ShardDriver | None = None,
+                 payload: str = "auto"):
         if link_capacity < 1:
             raise SimulationError("link_capacity must be >= 1")
+        if payload not in ("auto", "shm", "pickle"):
+            raise ParameterError(
+                f"payload must be 'auto', 'shm' or 'pickle', got {payload!r}"
+            )
         self.graph = graph
         self.link_capacity = int(link_capacity)
+        self.payload = payload
         self.cycle = 0
         self.driver = driver or ShardDriver(workers=workers)
         self._n = graph.node_count
@@ -949,6 +893,45 @@ class ShardedEngine:
         self._pending_packets = 0
         self._done: list[ShardStats] = []
         self._injected = 0
+        self._graph_export = None       # owning ShmBlock once exported
+        self._graph_handle: GraphHandle | None = None
+
+    # -- graph payload ------------------------------------------------------
+
+    def _use_shm(self) -> bool:
+        if self.payload == "shm":
+            return True
+        if self.payload == "pickle":
+            return False
+        # "auto": zero-copy only pays when a process boundary exists —
+        # resolve_workers(2) > 1 means the driver would parallelize given
+        # enough shards (inline runs read self.graph directly anyway)
+        return shm_available() and self.driver.resolve_workers(2) > 1
+
+    def _graph_payload(self) -> "StaticGraph | GraphHandle":
+        """What a freshly recorded shard carries as its graph: a shm
+        handle (exported lazily, once) or the graph itself."""
+        if not self._use_shm():
+            return self.graph
+        if self._graph_handle is None:
+            # forced payload="shm" raises ShmError here when unavailable
+            self._graph_handle, self._graph_export = GraphHandle.export(self.graph)
+        return self._graph_handle
+
+    def close(self) -> None:
+        """Unlink the exported graph segment, if any (idempotent).  The
+        owning block's GC finalizer is the backstop, but sweeps should
+        close explicitly — shared-memory segments outlive processes."""
+        if self._graph_export is not None:
+            self._graph_export.unlink()
+            self._graph_export = None
+            self._graph_handle = None
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- fault state --------------------------------------------------------
 
@@ -1024,7 +1007,7 @@ class ShardedEngine:
 
         self._pending.append(
             _RouteShard(
-                graph=self.graph,
+                graph=self._graph_payload(),
                 link_capacity=self.link_capacity,
                 flat=flat.copy(),
                 offsets=offsets.copy(),

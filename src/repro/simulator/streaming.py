@@ -365,6 +365,7 @@ def load_sweep(
     *,
     workers: int | None = None,
     driver: ShardDriver | None = None,
+    pool=None,
 ) -> list[ExperimentResult]:
     """Evaluate ``base`` at every offered rate in ``rates``.
 
@@ -373,12 +374,15 @@ def load_sweep(
     simulations, so they fan out across a
     :class:`~repro.simulator.shard_driver.ShardDriver` worker pool
     (``workers=0`` runs inline — results are identical either way).
-    Returns one :class:`~repro.simulator.shard_driver.ExperimentResult`
-    per rate, in input order.
+    ``pool`` borrows a warm :class:`~repro.simulator.pool.WorkerPool`
+    so repeated sweeps reuse the same workers; ``driver`` overrides the
+    whole facade and wins.  Returns one
+    :class:`~repro.simulator.shard_driver.ExperimentResult` per rate,
+    in input order.
     """
     base = _as_stream_spec(base)
     specs = [base.with_rate(float(r)) for r in rates]
-    drv = driver or ShardDriver(workers=workers)
+    drv = driver or ShardDriver(workers=workers, pool=pool)
     return drv.map(_run_stream_point, specs)
 
 
@@ -455,6 +459,7 @@ def find_saturation(
     threshold: float = 0.95,
     workers: int | None = None,
     driver: ShardDriver | None = None,
+    pool=None,
 ) -> SaturationResult:
     """Locate the saturation point of one machine/fault scenario.
 
@@ -470,6 +475,10 @@ def find_saturation(
 
     Returns a :class:`SaturationResult`; all evaluated points (ladder +
     bisection probes) appear in ``points``.
+
+    ``pool`` borrows a warm :class:`~repro.simulator.pool.WorkerPool`
+    for the ladder phase (bisection probes always run inline — they are
+    sequential by nature).
     """
     if not 0 < threshold <= 1:
         raise ParameterError("threshold must be in (0, 1]")
@@ -477,7 +486,7 @@ def find_saturation(
     rates = sorted(float(r) for r in rates)
     if not rates:
         raise ParameterError("find_saturation needs at least one rate")
-    drv = driver or ShardDriver(workers=workers)
+    drv = driver or ShardDriver(workers=workers, pool=pool)
     resolved_workers = drv.resolve_workers(len(rates))
     points = list(load_sweep(base, rates, driver=drv))
 

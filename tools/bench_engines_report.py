@@ -31,6 +31,23 @@ Two row kinds:
   histograms — not bit-equal latencies (equal-length paths with
   different tie-breaking contend differently; see
   ``tests/conformance/``).
+* ``driver="pool"`` — the same scenario grid dispatched repeatedly,
+  cold vs warm: the cold side builds an ephemeral worker pool per
+  ``run_grid`` call (the historical spawn-per-sweep behavior), the warm
+  side rides one persistent
+  :class:`~repro.simulator.pool.WorkerPool` across every repeat.  The
+  generic columns hold (cold, warm) seconds summed over the repeats;
+  ``identical_stats`` is bit-equality of every repeat's per-scenario
+  and aggregate statistics across both sides, and ``spawned_warm``
+  records how many processes the warm pool ever forked (the reuse
+  proof).
+* ``driver="shm"`` — the sharded engine's two graph payloads raced on
+  one workload: ``payload="pickle"`` ships the graph by value with
+  every shard, ``payload="shm"`` exports its CSR arrays once into a
+  shared-memory segment and ships a zero-copy handle.  The generic
+  columns hold (pickle, shm) seconds; ``identical_stats`` is bit-equal
+  ``RunStats`` *and* merged ``ShardStats``.  On platforms without
+  POSIX shared memory both sides run pickled and the row says so.
 * ``driver="compile"`` — the per-epoch survivor-table *compile* itself:
   the pre-vectorization scalar reference (one discovery-order BFS per
   destination) vs the shipped frontier-at-a-time gather compiler.  The
@@ -88,6 +105,8 @@ FULL_SUITE = [
     ("engine", "descend", 2, 9, 1, 50_000, []),
     ("controller", "uniform", 2, 8, 2, 20_000, [(5, 40)]),
     ("sweep", "uniform", 2, 9, 1, 40_000, [(0, 40)]),
+    ("pool", "uniform", 2, 8, 1, 2_000, [(0, 40)]),
+    ("shm", "uniform", 2, 9, 1, 40_000, [(0, 40)]),
     ("detour", "uniform", 2, 8, 1, 20_000, [3, 40]),
     ("compile", "uniform", 2, 9, 1, 0, [3, 40]),
 ]
@@ -95,6 +114,8 @@ QUICK_SUITE = [
     ("engine", "uniform", 2, 7, 1, 5_000, []),
     ("controller", "uniform", 2, 6, 1, 4_000, [(3, 9)]),
     ("sweep", "uniform", 2, 7, 1, 4_000, [(0, 9)]),
+    ("pool", "uniform", 2, 6, 1, 600, [(0, 9)]),
+    ("shm", "uniform", 2, 7, 1, 4_000, [(0, 9)]),
     ("detour", "uniform", 2, 6, 1, 3_000, [9]),
     ("compile", "uniform", 2, 7, 1, 0, [9]),
 ]
@@ -187,6 +208,91 @@ def run_sweep_row(pattern, m, h, k, packets, faults, seed=0, workers=None):
         "workers": sharded.workers,
         "single_seconds": round(single.seconds, 4),
         "sharded_seconds": round(sharded.seconds, 4),
+    }
+
+
+def run_pool_row(pattern, m, h, k, packets, faults, seed=0, workers=None,
+                 repeats=3):
+    """Dispatch the same grid ``repeats`` times, cold (fresh ephemeral
+    pool per ``run_grid``) vs warm (one persistent pool for the lot);
+    every repeat's statistics must be bit-identical across both sides."""
+    from repro.simulator import WorkerPool
+    from repro.simulator.shard_driver import ScenarioGrid, run_grid
+
+    # force real processes: the row measures spawn amortization, which
+    # an inline (workers<=1) dispatch would silently skip on 1-CPU boxes
+    workers = 2 if workers is None else max(2, workers)
+    grid = ScenarioGrid(
+        mhk=[(m, h, k)],
+        patterns=[pattern],
+        loads=[packets],
+        fault_sets=[(), tuple(tuple(f) for f in faults)],
+        seeds=[seed, seed + 1],
+    )
+
+    t0 = time.perf_counter()
+    cold = [run_grid(grid, workers=workers) for _ in range(repeats)]
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with WorkerPool(workers=workers) as pool:
+        warm = [run_grid(grid, pool=pool) for _ in range(repeats)]
+        spawned = pool.spawned
+    t_warm = time.perf_counter() - t0
+
+    identical = all(
+        c.aggregate_stats == w.aggregate_stats
+        and all(
+            a.run_stats == b.run_stats for a, b in zip(c.results, w.results)
+        )
+        for c, w in zip(cold, warm)
+    )
+    agg = warm[0].aggregate_stats
+    return t_cold, t_warm, agg, identical, agg.injected * repeats, {
+        "scenarios": len(grid),
+        "repeats": repeats,
+        "workers": workers,
+        "spawned_warm": spawned,
+        "cold_seconds": round(t_cold, 4),
+        "warm_seconds": round(t_warm, 4),
+    }
+
+
+def run_shm_row(pattern, m, h, k, packets, faults, seed=0, workers=None):
+    """Race the sharded engine's pickled graph payload against the
+    zero-copy shared-memory handle on one mid-run-fault workload; the
+    statistics must be bit-identical both as ``RunStats`` and as merged
+    ``ShardStats``."""
+    from repro.shm import shm_available
+    from repro.simulator.shard_driver import ShardStats  # noqa: F401
+
+    workers = 2 if workers is None else max(2, workers)
+    n = m ** h
+    pairs = make_pattern(n, pattern, packets, np.random.default_rng(seed))
+    batches = np.array_split(pairs, 4)
+    payloads = ("pickle", "shm") if shm_available() else ("pickle", "pickle")
+    times, stats, shard = {}, {}, {}
+    for side, payload in zip(("pickle", "shm"), payloads):
+        ctrl = ReconfigurationController(m, h, k, engine="sharded",
+                                         workers=workers)
+        ctrl.sim.payload = payload
+        ctrl.schedule(FaultScenario([tuple(f) for f in faults]))
+        t0 = time.perf_counter()
+        stats[side] = ctrl.run_workload([b.copy() for b in batches])
+        times[side] = time.perf_counter() - t0
+        shard[side] = ctrl.sim.shard_stats()
+        ctrl.sim.close()
+    identical = (
+        stats["pickle"] == stats["shm"] and shard["pickle"] == shard["shm"]
+    )
+    return times["pickle"], times["shm"], stats["shm"], identical, int(
+        pairs.shape[0]
+    ), {
+        "payloads": list(payloads),
+        "workers": workers,
+        "batches": len(batches),
+        "pickle_seconds": round(times["pickle"], 4),
+        "shm_seconds": round(times["shm"], 4),
     }
 
 
@@ -301,6 +407,14 @@ def run_config(driver, pattern, m, h, k, packets, faults, seed=0, workers=None):
         t_obj, t_bat, st, identical, count, extra = run_sweep_row(
             pattern, m, h, k, packets, faults, seed, workers
         )
+    elif driver == "pool":
+        t_obj, t_bat, st, identical, count, extra = run_pool_row(
+            pattern, m, h, k, packets, faults, seed, workers
+        )
+    elif driver == "shm":
+        t_obj, t_bat, st, identical, count, extra = run_shm_row(
+            pattern, m, h, k, packets, faults, seed, workers
+        )
     elif driver == "detour":
         t_obj, t_bat, st, identical, count, extra = run_detour_row(
             pattern, m, h, k, packets, faults, seed
@@ -341,7 +455,8 @@ def main(argv=None) -> int:
     for cfg in suite:
         row = run_config(*cfg, workers=args.workers)
         rows.append(row)
-        sides = {"sweep": ("single", "sharded"), "detour": ("bfs", "table"),
+        sides = {"sweep": ("single", "sharded"), "pool": ("cold", "warm"),
+                 "shm": ("pickle", "shm"), "detour": ("bfs", "table"),
                  "compile": ("scalar", "vector")}
         left, right = sides.get(row["driver"], ("object", "batch"))
         print(
