@@ -10,9 +10,11 @@ Commands
 ``bench-engines`` race the object vs. batch simulation engines on one
                   workload and check they agree packet-for-packet
 ``run``           execute any experiment spec or grid JSON — closed-loop
-                  workloads, open-loop streams, saturation ladders and
-                  whole saturation surfaces — through one front door
-                  (see :mod:`repro.experiments` and docs/experiments.md)
+                  workloads, open-loop streams, saturation ladders,
+                  whole saturation surfaces, and Monte-Carlo replicated
+                  fault universes (``fault_model`` + ``replicas``) —
+                  through one front door (see :mod:`repro.experiments`
+                  and docs/experiments.md)
 ``sweep``         deprecated: closed-loop grid sweep by flags (use
                   ``run`` with a grid JSON)
 ``saturate``      deprecated: open-loop rate ladder by flags (use
@@ -606,9 +608,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "{'experiment': {...}}) runs one closed-loop "
                     "workload or open-loop stream; {'grid': {...}} "
                     "expands an ExperimentGrid (sizes x patterns x "
-                    "loads-or-rates x fault sets x seeds) and sweeps it "
-                    "across the multi-process pool — a stream grid with "
-                    "a rates axis is a saturation surface.  With "
+                    "loads-or-rates x fault sets-or-models x seeds) and "
+                    "sweeps it across the multi-process pool — a stream "
+                    "grid with a rates axis is a saturation surface, "
+                    "and a fault_model ('fixed', 'iid', 'burst', "
+                    "'churn') with replicas > 1 fans seeded Monte-Carlo "
+                    "realizations across the same pool.  With "
                     "--rates, a stream spec becomes a saturation "
                     "ladder: the rungs are swept in parallel and the "
                     "saturation point is bracketed and bisected.  Field "

@@ -16,9 +16,9 @@ simulation experiments:
   :mod:`repro.simulator.shard_driver`); accepts specs, grids, and the
   legacy scenario types alike.
 * The backend registries — :data:`ENGINES`, :data:`CONTROLLERS`,
-  :data:`SOURCES`, :data:`PATTERNS`, :data:`ROUTE_MODES` — where every
-  name a spec can carry is registered by decorator and validated at
-  spec construction.  A new backend (an engine, an arrival process, a
+  :data:`SOURCES`, :data:`PATTERNS`, :data:`ROUTE_MODES`,
+  :data:`FAULT_MODELS` — where every name a spec can carry is
+  registered by decorator and validated at spec construction.  A new backend (an engine, an arrival process, a
   routing mode) is one decorated factory; every spec, grid, CLI
   ``choices=`` list and error message picks it up automatically.
 
@@ -29,7 +29,13 @@ shims over :class:`ExperimentSpec` and return bit-identical statistics.
 
 from repro.registry import Registry
 from repro.simulator.engines import ENGINES, make_engine
-from repro.simulator.faults import CONTROLLERS, ROUTE_MODES
+from repro.simulator.faults import (
+    CONTROLLERS,
+    FAULT_MODELS,
+    ROUTE_MODES,
+    realize_fault_model,
+    validate_fault_model,
+)
 from repro.simulator.sources import SOURCES, make_source
 from repro.simulator.traffic import PATTERNS, make_pattern
 from repro.experiments.spec import (
@@ -44,9 +50,12 @@ __all__ = [
     "Registry",
     "ENGINES",
     "CONTROLLERS",
+    "FAULT_MODELS",
     "SOURCES",
     "PATTERNS",
     "ROUTE_MODES",
+    "realize_fault_model",
+    "validate_fault_model",
     "LOOPS",
     "ExperimentGrid",
     "ExperimentResult",

@@ -23,11 +23,20 @@ now describes either, selected by ``loop="closed" | "stream"``, with
   file *is* the experiment and published results can state precisely
   what produced them;
 * **grid expansion** — :class:`ExperimentGrid` declares a sweep (sizes
-  x patterns x loads *or* rates x fault sets x seed replicas) and
-  :meth:`ExperimentGrid.expand` yields concrete specs in a stable
-  documented order; a saturation *surface* (offered rate x machine
-  size x fault count) is one stream-loop grid handed to
-  :func:`repro.simulator.shard_driver.run_grid`.
+  x patterns x loads *or* rates x fault sets *or* fault models x seed
+  replicas) and :meth:`ExperimentGrid.expand` yields concrete specs in
+  a stable documented order; a saturation *surface* (offered rate x
+  machine size x fault count) is one stream-loop grid handed to
+  :func:`repro.simulator.shard_driver.run_grid`;
+* **declarative fault universes** — ``fault_model`` names a generator
+  from :data:`~repro.simulator.faults.FAULT_MODELS` (``fixed``,
+  ``iid``, ``burst``, ``churn``) instead of a literal schedule, and
+  ``replicas`` asks for Monte-Carlo repetition: replica ``i``'s
+  concrete :class:`~repro.simulator.faults.FaultScenario` is drawn from
+  ``numpy.random.default_rng([seed, i])`` with traffic held fixed, so
+  every cell is exactly reproducible and
+  :func:`~repro.simulator.shard_driver.run_grid` fans the realizations
+  across the warm worker pool.
 
 Running a spec (:meth:`ExperimentSpec.run`) returns an
 :class:`ExperimentResult`: closed-loop runs carry mergeable
@@ -47,13 +56,21 @@ from __future__ import annotations
 import itertools
 import json
 import time
+import warnings
 from dataclasses import dataclass, fields, replace
 
 import numpy as np
 
+from repro.core.debruijn import debruijn
 from repro.errors import ParameterError
 from repro.simulator.engines import ENGINES
-from repro.simulator.faults import CONTROLLERS, ROUTE_MODES, FaultScenario
+from repro.simulator.faults import (
+    CONTROLLERS,
+    ROUTE_MODES,
+    FaultScenario,
+    realize_fault_model,
+    validate_fault_model,
+)
 from repro.simulator.metrics import PacketArrays
 from repro.simulator.shard_driver import ExperimentResult, ShardStats
 from repro.simulator.sources import SOURCES, TrafficSource, make_source
@@ -82,6 +99,28 @@ def _records_of(sim) -> PacketArrays:
     if hasattr(sim, "packet_records"):
         return sim.packet_records()
     return PacketArrays.from_packets(sim.packets)
+
+
+def _spare_demand(faults, repairs) -> int:
+    """Peak number of *concurrently* faulty distinct nodes over a fixed
+    schedule — the spare budget a ``reconfig`` run actually needs.  With
+    no repairs this is the distinct-node count (a schedule that fails the
+    same node twice still occupies one spare), and interleaved repairs
+    return spares to the pool (repairs fire before faults within a
+    cycle, matching :meth:`FaultScenario.schedule_into`)."""
+    events = sorted(
+        [(int(c), 0, int(v)) for c, v in repairs]
+        + [(int(c), 1, int(v)) for c, v in faults]
+    )
+    live: set[int] = set()
+    peak = 0
+    for _, kind, v in events:
+        if kind == 0:
+            live.discard(v)
+        else:
+            live.add(v)
+            peak = max(peak, len(live))
+    return peak
 
 
 @dataclass(frozen=True)
@@ -115,7 +154,23 @@ class ExperimentSpec:
     ``faults``
         ``(cycle, node)`` pairs.  Closed-loop ``reconfig`` fires them on
         the honest timeline and ``detour`` at batch boundaries; stream
-        runs fire both exactly on cycle.
+        runs fire both exactly on cycle.  Deprecated in serialized specs
+        — prefer ``fault_model={"name": "fixed", "faults": [...]}``,
+        which is bit-identical; passing both raises.
+    ``fault_model``
+        A declarative fault universe: ``{"name": ..., **params}`` with
+        the name one of :data:`~repro.simulator.faults.FAULT_MODELS`
+        (``fixed``, ``iid``, ``burst``, ``churn``), validated and
+        canonicalized at construction.  Probabilistic models are
+        *realized* into a concrete schedule per replica from
+        ``rng([seed, replica_index])``; stream specs default the arrival
+        window to ``[0, cycles)``, closed specs to ``[0, 1)`` (every
+        fault at cycle 0 — the static random-fault universe of the
+        dependability literature) unless the model names a ``window``.
+    ``replicas``
+        Monte-Carlo repetition count (closed loop only — stream stats
+        do not merge; sweep the grid ``seeds`` axis instead).  Traffic
+        stays fixed across replicas; only the fault realization varies.
     ``seed, link_capacity``
         Traffic determinism and per-link bandwidth.
 
@@ -149,6 +204,8 @@ class ExperimentSpec:
     engine: str = "batch"
     route_mode: str = "bfs"
     faults: tuple[tuple[int, int], ...] = ()
+    fault_model: dict | None = None
+    replicas: int = 1
     seed: int = 0
     link_capacity: int = 1
     # closed-loop fields
@@ -167,9 +224,9 @@ class ExperimentSpec:
     mean_off: float = 20.0
 
     def __post_init__(self):
-        ints = ("m", "h", "k", "seed", "link_capacity", "packets", "batches",
-                "cycles_per_batch", "shards", "max_cycles", "cycles",
-                "warmup", "window")
+        ints = ("m", "h", "k", "replicas", "seed", "link_capacity", "packets",
+                "batches", "cycles_per_batch", "shards", "max_cycles",
+                "cycles", "warmup", "window")
         for name in ints:
             object.__setattr__(self, name, int(getattr(self, name)))
         for name in ("rate", "mean_on", "mean_off"):
@@ -194,13 +251,42 @@ class ExperimentSpec:
                 f"parallelism comes from the sweep, and streaming "
                 f"interleaves per-cycle arrivals the sharded engine cannot)"
             )
-        if self.controller == "reconfig" and len(self.faults) > self.k:
-            # fail at spec time with a readable message instead of a
-            # FaultSetError traceback out of a worker process mid-sweep
-            raise ParameterError(
-                f"scenario schedules {len(self.faults)} faults but "
-                f"B^{self.k}_{{{self.m},{self.h}}} has only {self.k} spares"
+        if self.fault_model is not None:
+            if self.faults:
+                raise ParameterError(
+                    "pass either faults= (legacy literal pairs) or "
+                    "fault_model=, not both"
+                )
+            object.__setattr__(
+                self, "fault_model", validate_fault_model(self.fault_model)
             )
+        if self.replicas < 1:
+            raise ParameterError(f"replicas must be >= 1, got {self.replicas}")
+        if self.replicas > 1:
+            if self.loop != "closed":
+                raise ParameterError(
+                    "replicas > 1 needs loop='closed' (stream statistics "
+                    "do not merge exactly; Monte-Carlo a stream run over "
+                    "the grid seeds axis instead)"
+                )
+            if self.shards > 1:
+                raise ParameterError(
+                    "replicas > 1 and shards > 1 do not compose; replica "
+                    "fan-out already parallelizes the cell"
+                )
+        known = self._fixed_faults()
+        if self.controller == "reconfig" and known is not None:
+            demand = _spare_demand(*known)
+            if demand > self.k:
+                # fail at spec time with a readable message instead of a
+                # FaultSetError traceback out of a worker process
+                # mid-sweep (probabilistic models re-check here when each
+                # replica is realized into a fixed schedule)
+                raise ParameterError(
+                    f"scenario schedules {demand} concurrently faulty "
+                    f"nodes but B^{self.k}_{{{self.m},{self.h}}} has only "
+                    f"{self.k} spares"
+                )
         if self.loop == "closed":
             self._validate_closed()
         else:
@@ -225,10 +311,19 @@ class ExperimentSpec:
                     "per-batch sharding requires cycles_per_batch == 0 "
                     "(idle gaps couple the batches)"
                 )
-            if any(c != 0 for c, _ in self.faults):
+            known = self._fixed_faults()
+            if known is None:
+                raise ParameterError(
+                    "per-batch sharding requires a statically-known fault "
+                    "schedule (fault_model 'fixed' or legacy faults=); "
+                    "probabilistic universes parallelize via replicas "
+                    "with shards=1"
+                )
+            fault_pairs, repair_pairs = known
+            if any(c != 0 for c, _ in fault_pairs) or repair_pairs:
                 raise ParameterError(
                     "per-batch sharding requires every fault at cycle 0 "
-                    "(mid-run faults couple the batches)"
+                    "and no repairs (mid-run events couple the batches)"
                 )
 
     def _validate_stream(self) -> None:
@@ -258,6 +353,10 @@ class ExperimentSpec:
             parts.append(f"seed{self.seed}")
         if self.faults:
             parts.append(f"{len(self.faults)}flt")
+        elif self.fault_model is not None:
+            parts.append(f"{self.fault_model['name']}-faults")
+        if self.replicas > 1:
+            parts.append(f"x{self.replicas}")
         if self.controller != "reconfig":
             parts.append(self.controller)
             if self.route_mode != "bfs":
@@ -284,13 +383,22 @@ class ExperimentSpec:
     def from_dict(cls, spec: dict) -> "ExperimentSpec":
         """Rebuild from :meth:`to_dict` output (strict: unknown keys
         raise, naming them, so a typo'd field cannot silently fall back
-        to a default)."""
+        to a default).  A non-empty legacy ``faults`` key warns: the
+        ``fixed`` fault model is its bit-identical replacement."""
         known = {f.name for f in fields(cls)}
         unknown = set(spec) - known
         if unknown:
             raise ParameterError(
                 f"unknown ExperimentSpec keys: {sorted(unknown)}; "
                 f"valid keys: {sorted(known)}"
+            )
+        if spec.get("faults"):
+            warnings.warn(
+                "the 'faults' spec key is deprecated; use fault_model="
+                '{"name": "fixed", "faults": [[cycle, node], ...]} '
+                "(bit-identical)",
+                DeprecationWarning,
+                stacklevel=2,
             )
         return cls(**spec)
 
@@ -301,6 +409,67 @@ class ExperimentSpec:
     @classmethod
     def from_json(cls, text: str) -> "ExperimentSpec":
         return cls.from_dict(json.loads(text))
+
+    # -- fault universes -----------------------------------------------------
+
+    def _effective_fault_model(self) -> dict | None:
+        """The declarative fault universe this spec runs under: its
+        ``fault_model`` verbatim, or the legacy ``faults`` tuples wrapped
+        as the equivalent ``fixed`` model (``None`` when fault-free)."""
+        if self.fault_model is not None:
+            return self.fault_model
+        if self.faults:
+            return {
+                "name": "fixed",
+                "faults": [[c, v] for c, v in self.faults],
+            }
+        return None
+
+    def _fixed_faults(self):
+        """``(fault_pairs, repair_pairs)`` when the schedule is statically
+        known (legacy tuples or the ``fixed`` model), else ``None`` —
+        probabilistic universes are only knowable per realized replica."""
+        model = self._effective_fault_model()
+        if model is None:
+            return [], []
+        if model["name"] != "fixed":
+            return None
+        return (
+            [(int(c), int(v)) for c, v in model["faults"]],
+            [(int(c), int(v)) for c, v in model.get("repairs", [])],
+        )
+
+    def realize_faults(self, replica: int = 0) -> FaultScenario:
+        """Draw this spec's concrete fault schedule for one Monte-Carlo
+        replica — a pure function of ``(spec, replica)`` via
+        ``rng([seed, replica])``, so realizations reproduce anywhere.
+        Stream specs default probabilistic arrival windows to
+        ``[0, cycles)``; closed specs to ``[0, 1)`` (faults at cycle 0)."""
+        model = self._effective_fault_model()
+        if model is None:
+            return FaultScenario()
+        return realize_fault_model(
+            model,
+            n=self.m ** self.h,
+            cycles=self.cycles if self.loop == "stream" else 1,
+            rng=np.random.default_rng([self.seed, int(replica)]),
+            graph=lambda: debruijn(self.m, self.h),
+        )
+
+    def realize_replica(self, replica: int) -> "ExperimentSpec":
+        """Replica ``replica``'s single-run spec: the probabilistic fault
+        universe frozen into a ``fixed`` model (so the worker re-runs the
+        exact drawn schedule), ``replicas`` collapsed to 1, traffic
+        untouched.  :func:`~repro.simulator.shard_driver.run_grid`
+        expands replicated cells through this."""
+        scenario = self.realize_faults(replica)
+        model = {
+            "name": "fixed",
+            "faults": [[c, v] for c, v in scenario.node_faults],
+        }
+        if scenario.node_repairs:
+            model["repairs"] = [[c, v] for c, v in scenario.node_repairs]
+        return replace(self, faults=(), fault_model=model, replicas=1)
 
     # -- construction of the moving parts -----------------------------------
 
@@ -328,15 +497,17 @@ class ExperimentSpec:
 
     def build_controller(self, engine: str | None = None):
         """Fresh controller (via the :data:`CONTROLLERS` registry) with
-        this spec's faults scheduled on its event clock."""
+        this spec's realized fault schedule (replica 0 for probabilistic
+        universes) on its event clock."""
         ctrl = CONTROLLERS.get(self.controller)(
             self.m, self.h, self.k,
             engine=engine or self.engine,
             link_capacity=self.link_capacity,
             route_mode=self.route_mode,
         )
-        if self.faults:
-            ctrl.schedule(FaultScenario(list(self.faults)))
+        scenario = self.realize_faults()
+        if scenario.node_faults or scenario.node_repairs:
+            ctrl.schedule(scenario)
         return ctrl
 
     # -- execution ----------------------------------------------------------
@@ -355,6 +526,15 @@ class ExperimentSpec:
                     "batch_slice applies to closed-loop specs only"
                 )
             return self._run_stream()
+        if self.replicas > 1:
+            if batch_slice is not None:
+                raise ParameterError(
+                    "batch_slice applies to single-replica specs only"
+                )
+            first, *rest = (
+                self.realize_replica(i).run() for i in range(self.replicas)
+            )
+            return replace(first.merged_with(rest), spec=self)
         return self._run_closed(batch_slice)
 
     def _run_closed(self, batch_slice: slice | None) -> "ExperimentResult":
@@ -403,11 +583,16 @@ class ExperimentGrid:
     order.
 
     Axes (in product order): ``mhk`` x ``patterns`` x (``loads`` for
-    closed loops / ``rates`` for stream loops) x ``fault_sets`` x
-    ``seeds``.  Every other field is a scalar applied to each cell.
-    A stream grid with several sizes, rates and fault sets *is* a
-    saturation surface, and :func:`repro.simulator.shard_driver.run_grid`
-    executes the whole thing as one sharded sweep.
+    closed loops / ``rates`` for stream loops) x (``fault_sets`` *or*
+    ``fault_models``) x ``seeds``.  Every other field — including
+    ``replicas``, the per-cell Monte-Carlo count — is a scalar applied
+    to each cell.  ``fault_models`` sweeps declarative fault universes
+    (e.g. several ``iid`` survival probabilities — a dependability
+    curve); it replaces the literal ``fault_sets`` axis and the two are
+    mutually exclusive.  A stream grid with several sizes, rates and
+    fault sets *is* a saturation surface, and
+    :func:`repro.simulator.shard_driver.run_grid` executes the whole
+    thing as one sharded sweep.
 
     >>> grid = ExperimentGrid(mhk=[(2, 4, 1)], loop="stream",
     ...                       rates=[1.0, 4.0], fault_sets=[(), ((0, 3),)])
@@ -423,6 +608,8 @@ class ExperimentGrid:
     loads: tuple[int, ...] = (1000,)
     rates: tuple[float, ...] = ()
     fault_sets: tuple[tuple[tuple[int, int], ...], ...] = ((),)
+    fault_models: tuple[dict, ...] = ()
+    replicas: int = 1
     seeds: tuple[int, ...] = (0,)
     controller: str = "reconfig"
     engine: str = "batch"
@@ -455,7 +642,18 @@ class ExperimentGrid:
                 tuple((int(c), int(v)) for c, v in fs) for fs in self.fault_sets
             ),
         )
+        object.__setattr__(
+            self,
+            "fault_models",
+            tuple(validate_fault_model(mdl) for mdl in self.fault_models),
+        )
+        object.__setattr__(self, "replicas", int(self.replicas))
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if self.fault_models and any(fs for fs in self.fault_sets):
+            raise ParameterError(
+                "fault_models and fault_sets are the same axis (declarative "
+                "vs literal) — sweep one or the other, not both"
+            )
         if not self.mhk:
             raise ParameterError("ExperimentGrid needs at least one (m, h, k)")
         if self.loop not in LOOPS:
@@ -479,10 +677,17 @@ class ExperimentGrid:
     def _varying(self) -> tuple:
         return self.rates if self.loop == "stream" else self.loads
 
+    def _fault_axis(self) -> list[dict]:
+        """The fault axis as per-cell spec kwargs: declarative models
+        when ``fault_models`` is set, literal pair sets otherwise."""
+        if self.fault_models:
+            return [{"fault_model": mdl} for mdl in self.fault_models]
+        return [{"faults": fs} for fs in self.fault_sets]
+
     def __len__(self) -> int:
         return (
             len(self.mhk) * len(self.patterns) * len(self._varying())
-            * len(self.fault_sets) * len(self.seeds)
+            * len(self._fault_axis()) * len(self.seeds)
         )
 
     def expand(self) -> list[ExperimentSpec]:
@@ -493,6 +698,7 @@ class ExperimentGrid:
             controller=self.controller,
             engine=self.engine,
             route_mode=self.route_mode,
+            replicas=self.replicas,
             link_capacity=self.link_capacity,
             batches=self.batches,
             cycles_per_batch=self.cycles_per_batch,
@@ -506,15 +712,15 @@ class ExperimentGrid:
             mean_off=self.mean_off,
         )
         out = []
-        for (m, h, k), pattern, var, faults, seed in itertools.product(
-            self.mhk, self.patterns, self._varying(), self.fault_sets,
+        for (m, h, k), pattern, var, fault_kw, seed in itertools.product(
+            self.mhk, self.patterns, self._varying(), self._fault_axis(),
             self.seeds,
         ):
             load = {"rate": var} if self.loop == "stream" else {"packets": var}
             out.append(
                 ExperimentSpec(
-                    m=m, h=h, k=k, pattern=pattern, faults=faults, seed=seed,
-                    **load, **shared,
+                    m=m, h=h, k=k, pattern=pattern, seed=seed,
+                    **fault_kw, **load, **shared,
                 )
             )
         return out

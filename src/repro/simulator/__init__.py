@@ -60,10 +60,13 @@ from repro.simulator.traffic import (
 from repro.simulator.engines import ENGINES, make_engine
 from repro.simulator.faults import (
     CONTROLLERS,
+    FAULT_MODELS,
     ROUTE_MODES,
     DetourController,
     FaultScenario,
     ReconfigurationController,
+    realize_fault_model,
+    validate_fault_model,
 )
 from repro.simulator.pool import GraphHandle, WorkerPool
 from repro.simulator.shard_driver import (
@@ -138,8 +141,11 @@ __all__ = [
     "ReconfigurationController",
     "ENGINES",
     "CONTROLLERS",
+    "FAULT_MODELS",
     "ROUTE_MODES",
     "make_engine",
+    "realize_fault_model",
+    "validate_fault_model",
     "ExperimentResult",
     "GraphHandle",
     "GridResult",

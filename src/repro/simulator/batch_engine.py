@@ -245,6 +245,20 @@ class BatchEngine:
         self._dead[v] = True
         return self._drop_queues(lambda u, w: (u == v) | (w == v))
 
+    def enable_node(self, v: int) -> None:
+        """Return a disabled node to service (a ``node_repair`` event):
+        routes through ``v`` validate again from the next injection on.
+        Packets dropped while it was dead stay dropped.  Raises
+        :class:`SimulationError` for an out-of-range or live node id."""
+        v = int(v)
+        if not 0 <= v < self._n:
+            raise SimulationError(
+                f"cannot enable node {v}: not a node of the graph [0, {self._n})"
+            )
+        if not self._dead[v]:
+            raise SimulationError(f"cannot enable node {v}: it is not disabled")
+        self._dead[v] = False
+
     def disable_link(self, u: int, v: int) -> int:
         """Fail the undirected link ``{u, v}`` mid-run; drop everything
         queued on either direction and return the drop count.  Raises

@@ -89,6 +89,24 @@ class NetworkSimulator:
                 del self._queues[(a, b)]
         return dropped
 
+    def enable_node(self, v: int) -> None:
+        """Return a disabled node to service (a ``node_repair`` event):
+        routes through ``v`` are accepted again from the next injection
+        on.  Packets dropped while it was dead stay dropped — repair is
+        not resurrection.
+
+        Raises :class:`SimulationError` when ``v`` is out of range or was
+        never disabled, so a mis-scheduled repair fails loudly."""
+        v = int(v)
+        if not 0 <= v < self.graph.node_count:
+            raise SimulationError(
+                f"cannot enable node {v}: not a node of the graph "
+                f"[0, {self.graph.node_count})"
+            )
+        if v not in self._dead:
+            raise SimulationError(f"cannot enable node {v}: it is not disabled")
+        self._dead.discard(v)
+
     @property
     def dead_nodes(self) -> frozenset[int]:
         """Nodes disabled so far (routes touching them are rejected at

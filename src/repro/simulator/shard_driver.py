@@ -320,7 +320,9 @@ class ExperimentResult:
     def row(self) -> dict:
         """JSON-friendly summary row, loop-shaped to match the rows the
         legacy paths published (sweep rows for closed loops,
-        saturation-curve rows for stream points)."""
+        saturation-curve rows for stream points).  Declarative cells add
+        ``fault_model`` (and ``replicas`` when > 1) columns; legacy
+        cells' rows are unchanged."""
         if isinstance(self.stats, ShardStats):
             sc, st = self.spec, self.run_stats
             return {
@@ -328,6 +330,9 @@ class ExperimentResult:
                 "m": sc.m, "h": sc.h, "k": sc.k,
                 "pattern": sc.pattern, "packets": sc.packets,
                 "faults": [list(f) for f in sc.faults],
+                # fault-model columns appear only on declarative cells, so
+                # legacy sweep rows stay byte-identical
+                **_fault_model_columns(sc),
                 "seed": sc.seed,
                 "controller": sc.controller,
                 "engine": sc.engine,
@@ -353,6 +358,18 @@ class ExperimentResult:
             "unadmitted": s.unadmitted,
             "seconds": round(self.seconds, 4),
         }
+
+
+def _fault_model_columns(spec) -> dict:
+    """Extra row columns for declarative fault universes — empty for
+    legacy literal-fault specs, keeping their published rows stable."""
+    out: dict = {}
+    model = getattr(spec, "fault_model", None)
+    if model is not None:
+        out["fault_model"] = dict(model)
+    if getattr(spec, "replicas", 1) > 1:
+        out["replicas"] = spec.replicas
+    return out
 
 
 #: Legacy alias — scenario-era call sites keep importing this name.
@@ -690,10 +707,20 @@ def _as_specs(grid) -> list:
 
 def _expand_tasks(specs: Sequence) -> tuple[list[_SpecTask], list[int]]:
     """Flatten specs into pool tasks; ``owner[i]`` maps task ``i`` back
-    to its spec index (batch-shards of one spec share an owner)."""
+    to its spec index (batch-shards and Monte-Carlo replicas of one spec
+    share an owner).  Replicated cells are realized *here*, in the
+    submitting process, so each replica's fault schedule is drawn once
+    from ``rng([seed, replica])`` and every worker runs a frozen
+    ``fixed`` schedule — pool and sequential execution see bit-identical
+    realizations."""
     tasks: list[_SpecTask] = []
     owners: list[int] = []
     for si, sp in enumerate(specs):
+        if getattr(sp, "replicas", 1) > 1:
+            for i in range(sp.replicas):
+                tasks.append(_SpecTask(sp.realize_replica(i)))
+                owners.append(si)
+            continue
         if sp.loop != "closed" or sp.shards <= 1:
             tasks.append(_SpecTask(sp))
             owners.append(si)
@@ -749,6 +776,7 @@ class GridResult:
                     "m": sc.m, "h": sc.h, "k": sc.k,
                     "pattern": sc.pattern, "source": sc.source,
                     "faults": [list(f) for f in sc.faults],
+                    **_fault_model_columns(sc),
                     "seed": sc.seed,
                     "controller": sc.controller,
                     "engine": sc.engine,
@@ -797,7 +825,11 @@ def run_grid(
     for owner, res in zip(owners, raw):
         by_owner.setdefault(owner, []).append(res)
     merged = tuple(
-        by_owner[i][0].merged_with(by_owner[i][1:]) for i in range(len(specs))
+        # a replicated cell's parts carry realized single-replica specs;
+        # the merged record reports as the declarative spec the caller
+        # wrote, mirroring ExperimentSpec.run
+        replace(by_owner[i][0].merged_with(by_owner[i][1:]), spec=specs[i])
+        for i in range(len(specs))
     )
     return GridResult(
         results=merged,
@@ -959,6 +991,21 @@ class ShardedEngine:
             self.drain()
         self._dead[v] = True
         return 0
+
+    def enable_node(self, v: int) -> None:
+        """Return a disabled node to service for everything injected from
+        now on (pending shards drain first, mirroring the batch-boundary
+        timing of :meth:`disable_node`)."""
+        v = int(v)
+        if not 0 <= v < self._n:
+            raise SimulationError(
+                f"cannot enable node {v}: not a node of the graph [0, {self._n})"
+            )
+        if not self._dead[v]:
+            raise SimulationError(f"cannot enable node {v}: it is not disabled")
+        if self._pending:
+            self.drain()
+        self._dead[v] = False
 
     def disable_link(self, u: int, v: int) -> int:
         """Fail the undirected link ``{u, v}`` for future injections."""

@@ -126,6 +126,11 @@ def run_stream(
     engine steps one cycle.  Faults therefore take down the packets
     queued in the failed router mid-stream, exactly as in
     :meth:`~repro.simulator.faults.ReconfigurationController.run_workload`.
+    ``node_repair`` events (churn universes) ride the same clock: a
+    repair bumps the controller's ``routing_epoch`` like a fault does,
+    so the not-yet-injected tail is re-routed through the healed
+    machine — under ``route_mode="table"`` every repair epoch compiles
+    a fresh survivor table, one per distinct fault set.
     """
     if cycles < 1:
         raise ParameterError("run_stream needs cycles >= 1")

@@ -178,6 +178,60 @@ class TestDetourTableCache:
         ctrl.detour_routes_batch(pairs)
         assert calls == [frozenset({3})]
 
+    def test_repair_epoch_recompiles_table(self, monkeypatch):
+        """Churn golden: a mid-stream node_repair reopens a routing
+        epoch, so the table recompiles against the healed survivor set —
+        fault-free, post-fault, post-repair, one compile each."""
+        calls = self._spy_compiles(monkeypatch)
+        ctrl = DetourController(2, 5, engine="batch", route_mode="table")
+        ctrl.schedule(FaultScenario([(60, 9)], [(140, 9)]))
+        run_stream(ctrl, PoissonSource(32, 2.0, seed=3), cycles=220)
+        assert calls == [frozenset(), frozenset({9}), frozenset()]
+        assert ctrl.fault_log == [(60, 9)]
+        assert ctrl.repair_log == [(140, 9)]
+        assert ctrl.faults == set()
+
+    def test_churn_universe_epochs_pin_compiles(self, monkeypatch):
+        """A realized churn universe drives one compile per distinct
+        consecutive fault set — never a redundant recompile, and the
+        fired repair timeline matches the drawn schedule exactly."""
+        from repro.simulator import realize_fault_model
+
+        calls = self._spy_compiles(monkeypatch)
+        scenario = realize_fault_model(
+            {"name": "churn", "p": 0.9, "mean_downtime": 20, "rounds": 2,
+             "window": [0, 240]},
+            n=32, cycles=300, rng=np.random.default_rng([17, 0]),
+        )
+        assert scenario.node_faults and scenario.node_repairs
+        ctrl = DetourController(2, 5, engine="batch", route_mode="table")
+        ctrl.schedule(scenario)
+        run_stream(ctrl, PoissonSource(32, 2.0, seed=3), cycles=300)
+        # every fault and repair fired at exactly its drawn cycle
+        assert ctrl.fault_log == sorted(scenario.node_faults)
+        assert ctrl.repair_log == sorted(scenario.node_repairs)
+        assert ctrl.faults == set()  # round windows cap every downtime
+        # compiles: lazily per routed epoch, consecutive sets distinct
+        assert len(calls) >= 3
+        assert all(a != b for a, b in zip(calls, calls[1:]))
+
+    def test_object_batch_identical_under_repair(self):
+        """The repair path keeps the engines semantic twins: identical
+        records and logs through a fail/heal cycle."""
+        results = []
+        for engine in ("object", "batch"):
+            ctrl = DetourController(2, 5, engine=engine, route_mode="table")
+            ctrl.schedule(FaultScenario([(50, 9)], [(120, 9)]))
+            stats = run_stream(ctrl, PoissonSource(32, 2.0, seed=3),
+                               cycles=200)
+            results.append((ctrl, stats))
+        (co, so), (cb, sb) = results
+        po, pb = _records(co), _records(cb)
+        assert np.array_equal(po.delivered_at, pb.delivered_at)
+        assert np.array_equal(po.dropped, pb.dropped)
+        assert co.repair_log == cb.repair_log == [(120, 9)]
+        assert so == sb
+
 
 class TestWindowAccounting:
     def test_series_sums_match_totals(self):

@@ -48,6 +48,15 @@ Two row kinds:
   columns hold (pickle, shm) seconds; ``identical_stats`` is bit-equal
   ``RunStats`` *and* merged ``ShardStats``.  On platforms without
   POSIX shared memory both sides run pickled and the row says so.
+* ``driver="montecarlo"`` — one declarative Monte-Carlo cell (an
+  ``ExperimentSpec`` with an ``iid`` fault universe and ``replicas``
+  seeded realizations) executed twice: sequentially inline
+  (``workers=0``) vs fanned replica-per-task across a warm
+  :class:`~repro.simulator.pool.WorkerPool`.  The generic columns hold
+  (sequential, pool) seconds; ``identical_stats`` is bit-equality of
+  the merged per-cell statistics *and* the exact aggregate — the proof
+  that replica realization happens in the submitting process and is
+  independent of where each task runs.
 * ``driver="compile"`` — the per-epoch survivor-table *compile* itself:
   the pre-vectorization scalar reference (one discovery-order BFS per
   destination) vs the shipped frontier-at-a-time gather compiler.  The
@@ -108,6 +117,7 @@ FULL_SUITE = [
     ("pool", "uniform", 2, 8, 1, 2_000, [(0, 40)]),
     ("shm", "uniform", 2, 9, 1, 40_000, [(0, 40)]),
     ("detour", "uniform", 2, 8, 1, 20_000, [3, 40]),
+    ("montecarlo", "uniform", 2, 9, 1, 10_000, []),
     ("compile", "uniform", 2, 9, 1, 0, [3, 40]),
 ]
 QUICK_SUITE = [
@@ -117,6 +127,7 @@ QUICK_SUITE = [
     ("pool", "uniform", 2, 6, 1, 600, [(0, 9)]),
     ("shm", "uniform", 2, 7, 1, 4_000, [(0, 9)]),
     ("detour", "uniform", 2, 6, 1, 3_000, [9]),
+    ("montecarlo", "uniform", 2, 6, 1, 2_000, []),
     ("compile", "uniform", 2, 7, 1, 0, [9]),
 ]
 
@@ -335,6 +346,52 @@ def run_detour_row(pattern, m, h, k, packets, fault_nodes, seed=0):
     }
 
 
+def run_montecarlo_row(pattern, m, h, k, packets, faults, seed=0,
+                       workers=None, replicas=16):
+    """Run one declarative Monte-Carlo cell — an ``iid`` fault universe
+    with ``replicas`` seeded realizations — sequentially inline vs
+    fanned replica-per-task across a warm pool; the merged per-cell
+    statistics and the exact aggregate must be bit-identical."""
+    from repro.experiments import ExperimentSpec
+    from repro.simulator import WorkerPool
+    from repro.simulator.shard_driver import run_grid
+
+    # force real processes, as in the pool row: replica fan-out on an
+    # inline dispatch would not exercise cross-process determinism
+    workers = 2 if workers is None else max(2, workers)
+    fault_model = {"name": "iid", "p": 0.9}
+    spec = ExperimentSpec(
+        m=m, h=h, k=k, pattern=pattern, packets=packets, seed=seed,
+        controller="detour", engine="batch", route_mode="table",
+        fault_model=fault_model, replicas=replicas,
+    )
+
+    t0 = time.perf_counter()
+    seq = run_grid([spec], workers=0)
+    t_seq = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with WorkerPool(workers=workers) as pool:
+        par = run_grid([spec], pool=pool)
+    t_pool = time.perf_counter() - t0
+
+    identical = (
+        seq.aggregate_stats == par.aggregate_stats
+        and all(
+            a.run_stats == b.run_stats
+            for a, b in zip(seq.results, par.results)
+        )
+    )
+    agg = par.aggregate_stats
+    return t_seq, t_pool, agg, identical, agg.injected, {
+        "fault_model": fault_model,
+        "replicas": replicas,
+        "workers": workers,
+        "sequential_seconds": round(t_seq, 4),
+        "pool_seconds": round(t_pool, 4),
+    }
+
+
 def run_compile_row(pattern, m, h, k, packets, fault_nodes, seed=0):
     """Race the pre-vectorization scalar survivor-table compile against
     the shipped frontier-at-a-time compiler on one fault epoch; the
@@ -419,6 +476,10 @@ def run_config(driver, pattern, m, h, k, packets, faults, seed=0, workers=None):
         t_obj, t_bat, st, identical, count, extra = run_detour_row(
             pattern, m, h, k, packets, faults, seed
         )
+    elif driver == "montecarlo":
+        t_obj, t_bat, st, identical, count, extra = run_montecarlo_row(
+            pattern, m, h, k, packets, faults, seed, workers
+        )
     elif driver == "compile":
         t_obj, t_bat, st, identical, count, extra = run_compile_row(
             pattern, m, h, k, packets, faults, seed
@@ -457,6 +518,7 @@ def main(argv=None) -> int:
         rows.append(row)
         sides = {"sweep": ("single", "sharded"), "pool": ("cold", "warm"),
                  "shm": ("pickle", "shm"), "detour": ("bfs", "table"),
+                 "montecarlo": ("sequential", "pool"),
                  "compile": ("scalar", "vector")}
         left, right = sides.get(row["driver"], ("object", "batch"))
         print(
