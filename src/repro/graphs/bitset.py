@@ -1,0 +1,225 @@
+"""Bit-parallel BFS kernels over CSR arrays.
+
+The routing compiler and the all-pairs analytics both reduce to the same
+primitive: advance *every* BFS frontier in lockstep, one graph sweep per
+level.  Here each node carries a **reach bitset** — row ``v`` of an
+``(n, ceil(n/64))`` uint64 matrix, bit ``d`` set when ``v`` has reached
+``d`` — so one level of *all n* BFS trees is a handful of vectorized
+OR-gathers instead of ``n`` separate traversals.  Word-level parallelism
+does 64 destinations per integer op, and every gather runs over the
+contiguous CSR stream (no Python-level per-node structures; see the
+vectorization guidance in the HPC guides).
+
+The level sweep iterates over neighbor *ranks* (``max_deg`` passes of
+``reach[col_indices[row_offsets[rows] + r]]``), which is why this kernel
+shines exactly where the paper lives: constant-degree de Bruijn /
+shuffle-exchange machines, where ``max_deg`` is 4 regardless of size.
+
+Everything in this module is pure NumPy over ``(num_nodes, row_offsets,
+col_indices)`` triples — the canonical :class:`~repro.graphs.static_graph.
+StaticGraph` planes — and never imports the graph or routing layers.
+
+Tie-breaking contract
+---------------------
+:func:`hop_parent_table` resolves equal-length parents to the **lowest CSR
+rank**, i.e. the smallest neighbor id (rows are sorted ascending).  The
+dict reference in ``tests/conformance/harness.py`` implements the same
+rule, and the differential suite pins the two bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CLAIMS_BUDGET_BYTES",
+    "NO_PARENT",
+    "all_pairs_distances",
+    "hop_parent_table",
+    "mask_nodes_csr",
+]
+
+#: Sentinel for "no parent / unreachable" — numerically identical to
+#: :data:`repro.routing.tables.UNREACHABLE` (asserted there).
+NO_PARENT = -1
+
+#: Ceiling on the deferred-claims workspace of :func:`hop_parent_table`
+#: (``max_deg * n * ceil(n/64) * 8`` bytes).  Under it, parent claims
+#: accumulate across levels and are extracted once at the end (the fast
+#: path — one unpack per rank total); over it — high-degree graphs like
+#: large complete graphs — the kernel extracts claims per level instead,
+#: trading a little speed for bounded memory.  Both paths produce
+#: bit-identical tables (the conformance suite forces and checks the
+#: fallback).
+CLAIMS_BUDGET_BYTES = 256 * 2**20
+
+
+def _seed_reach(n: int) -> np.ndarray:
+    """Identity reach matrix: node ``v`` starts having reached only ``v``."""
+    reach = np.zeros((n, (n + 63) >> 6), dtype=np.uint64)
+    ar = np.arange(n)
+    reach[ar, ar >> 6] = np.uint64(1) << (ar & 63).astype(np.uint64)
+    return reach
+
+
+def _level_or(
+    reach: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    deg: np.ndarray,
+    max_deg: int,
+    out: np.ndarray,
+) -> np.ndarray:
+    """OR of every node's neighbors' reach rows: one full BFS level."""
+    out[:] = 0
+    for r in range(max_deg):
+        rows = np.flatnonzero(deg > r)
+        out[rows] |= reach[indices[indptr[rows] + r]]
+    return out
+
+
+def mask_nodes_csr(
+    num_nodes: int,
+    row_offsets: np.ndarray,
+    col_indices: np.ndarray,
+    alive: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop every edge incident to a non-``alive`` node, keeping all rows.
+
+    This is survivor-graph construction as pure array slicing: the node
+    set (and so the id space) is unchanged — dead nodes simply become
+    isolated, their neighbor slices empty.  Surviving slices keep their
+    relative order, so sortedness is preserved and the result is again a
+    canonical CSR pair.
+    """
+    n = int(num_nodes)
+    indptr = np.asarray(row_offsets, dtype=np.int64)
+    indices = np.asarray(col_indices, dtype=np.int64)
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    keep = alive[src] & alive[indices]
+    out_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src[keep], minlength=n), out=out_indptr[1:])
+    return out_indptr, indices[keep]
+
+
+def hop_parent_table(
+    num_nodes: int,
+    row_offsets: np.ndarray,
+    col_indices: np.ndarray,
+    *,
+    claims_budget: int | None = None,
+) -> np.ndarray:
+    """All-pairs hop-optimal next-hop matrix in one bit-parallel sweep.
+
+    Returns an ``(n, n)`` int64 matrix ``T`` where ``T[v, d]`` is the
+    neighbor of ``v`` that begins a shortest ``v → d`` path (the
+    *parent* of ``v`` in the BFS tree rooted at ``d``), ``T[d, d] == d``,
+    and :data:`NO_PARENT` marks unreachable pairs.  Ties go to the
+    smallest neighbor id (lowest CSR rank) — see the module docstring.
+
+    The algorithm: seed each node's reach bitset with itself; per level,
+    compute every node's neighbor-OR, find the newly-reached bits, and
+    let neighbors *claim* them in rank order against the previous level's
+    reach (``claim = pending & reach_prev[w]``) so each ``(v, d)`` pair
+    is claimed exactly once, by the lowest-rank hop-optimal parent.
+    Claims accumulate per rank and are unpacked into the table at the
+    end, or per level when the workspace would exceed ``claims_budget``
+    (default :data:`CLAIMS_BUDGET_BYTES`).
+    """
+    n = int(num_nodes)
+    table = np.full((n, n), NO_PARENT, dtype=np.int64)
+    if n == 0:
+        return table
+    indptr = np.ascontiguousarray(row_offsets, dtype=np.int64)
+    indices = np.ascontiguousarray(col_indices, dtype=np.int64)
+    np.fill_diagonal(table, np.arange(n))
+    deg = np.diff(indptr)
+    max_deg = int(deg.max(initial=0))
+    if max_deg == 0:
+        return table
+    if claims_budget is None:
+        claims_budget = CLAIMS_BUDGET_BYTES
+    W = (n + 63) >> 6
+    accumulate = max_deg * n * W * 8 <= claims_budget
+    claims = np.zeros((max_deg, n, W), dtype=np.uint64) if accumulate else None
+    reach = _seed_reach(n)
+    nbr_or = np.empty_like(reach)
+    flat = table.ravel()
+    while True:
+        _level_or(reach, indptr, indices, deg, max_deg, nbr_or)
+        pending = nbr_or & ~reach
+        if not pending.any():
+            break
+        # claim in rank order against the PREVIOUS level's reach, so every
+        # winning parent is hop-optimal and the lowest rank wins ties
+        for r in range(max_deg):
+            rows = np.flatnonzero((deg > r) & pending.any(axis=1))
+            if rows.size == 0:
+                break
+            w = indices[indptr[rows] + r]
+            claim = pending[rows] & reach[w]
+            pending[rows] &= ~claim
+            if accumulate:
+                claims[r][rows] |= claim
+            else:
+                cb = np.unpackbits(
+                    claim.view(np.uint8), axis=1, count=n, bitorder="little"
+                )
+                idx = np.flatnonzero(cb.view(bool).ravel())
+                if idx.size:
+                    ri = idx // n
+                    flat[rows[ri] * n + (idx - ri * n)] = w[ri]
+        reach |= nbr_or
+    if accumulate:
+        wcol = np.empty(n, dtype=np.int64)
+        starts = indptr[:-1]
+        for r in range(max_deg):
+            has = deg > r
+            wcol[has] = indices[starts[has] + r]  # rows without rank r have
+            cb = np.unpackbits(                   # all-zero claims anyway
+                claims[r].view(np.uint8), axis=1, count=n, bitorder="little"
+            )
+            idx = np.flatnonzero(cb.view(bool).ravel())
+            if idx.size:
+                flat[idx] = wcol[idx // n]
+    return table
+
+
+def all_pairs_distances(
+    num_nodes: int,
+    row_offsets: np.ndarray,
+    col_indices: np.ndarray,
+) -> np.ndarray:
+    """All-pairs hop distances via the same bit-parallel level sweep.
+
+    Returns an ``(n, n)`` int64 matrix with ``-1`` for unreachable pairs
+    and ``0`` on the diagonal.  Replaces ``n`` independent BFS runs with
+    ``diameter`` sweeps of the whole reach matrix.
+    """
+    n = int(num_nodes)
+    dist = np.full((n, n), -1, dtype=np.int64)
+    if n == 0:
+        return dist
+    indptr = np.ascontiguousarray(row_offsets, dtype=np.int64)
+    indices = np.ascontiguousarray(col_indices, dtype=np.int64)
+    np.fill_diagonal(dist, 0)
+    deg = np.diff(indptr)
+    max_deg = int(deg.max(initial=0))
+    if max_deg == 0:
+        return dist
+    reach = _seed_reach(n)
+    nbr_or = np.empty_like(reach)
+    flat = dist.ravel()
+    level = 0
+    while True:
+        level += 1
+        _level_or(reach, indptr, indices, deg, max_deg, nbr_or)
+        newly = nbr_or & ~reach
+        if not newly.any():
+            break
+        cb = np.unpackbits(
+            newly.view(np.uint8), axis=1, count=n, bitorder="little"
+        )
+        flat[np.flatnonzero(cb.view(bool).ravel())] = level
+        reach |= nbr_or
+    return dist

@@ -160,13 +160,21 @@ def kautz(m: int, h: int) -> StaticGraph:
         prev = strings[:, pos - 1]
         cand = off + (off >= prev)  # skip value equal to prev
         strings[:, pos] = cand
-    # Build a lookup from string tuple -> id.
-    key_of = {tuple(row): i for i, row in enumerate(strings)}
-    edges = []
-    for i, row in enumerate(strings):
-        for c in range(m + 1):
-            if c == row[-1]:
-                continue
-            succ = tuple(np.append(row[1:], c))
-            edges.append((i, key_of[succ]))
-    return StaticGraph(n, edges)
+    # Successor ranks by pure arithmetic (no string lookup): the successor
+    # of s under new letter c is (s_1..s_{h-1}, c), and in the mixed-radix
+    # encoding its rank is s_1 * m^(h-1) + the shifted interior offsets +
+    # the final offset.  The m valid letters c != s_{h-1} are exactly the
+    # final offsets 0..m-1, so each node's successors are one contiguous
+    # rank block.
+    if h == 1:
+        # Strings are single letters; successors are every other letter.
+        src = np.repeat(codes, m)
+        off = np.tile(np.arange(m, dtype=np.int64), n)
+        dst = off + (off >= src)
+        return StaticGraph(n, np.column_stack([src, dst]))
+    base = strings[:, 1] * m ** (h - 1)
+    if h > 2:
+        base = base + letters[:, 2:] @ (m ** np.arange(h - 2, 0, -1))
+    src = np.repeat(codes, m)
+    dst = (base[:, None] + np.arange(m, dtype=np.int64)[None, :]).ravel()
+    return StaticGraph(n, np.column_stack([src, dst]))

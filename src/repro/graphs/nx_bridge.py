@@ -9,6 +9,7 @@ auditable.
 from __future__ import annotations
 
 import networkx as nx
+import numpy as np
 
 from repro.errors import GraphFormatError
 from repro.graphs.static_graph import StaticGraph
@@ -17,10 +18,15 @@ __all__ = ["to_networkx", "from_networkx", "nx_node_connectivity", "nx_is_subgra
 
 
 def to_networkx(g: StaticGraph) -> "nx.Graph":
-    """Convert to an undirected :class:`networkx.Graph` with integer nodes."""
+    """Convert to an undirected :class:`networkx.Graph` with integer nodes.
+
+    The edge list is handed over as one ``(E, 2)`` array materialized from
+    the CSR planes (:meth:`~repro.graphs.static_graph.StaticGraph.edges`)
+    — python-level per-edge work happens only inside networkx itself.
+    """
     out = nx.Graph()
     out.add_nodes_from(range(g.node_count))
-    out.add_edges_from((int(u), int(v)) for u, v in g.edges())
+    out.add_edges_from(g.edges().tolist())
     return out
 
 
@@ -34,7 +40,12 @@ def from_networkx(g: "nx.Graph") -> StaticGraph:
             "from_networkx requires integer node labels 0..n-1; "
             "relabel with nx.convert_node_labels_to_integers first"
         )
-    return StaticGraph(n, [(int(u), int(v)) for u, v in g.edges() if u != v])
+    m = g.number_of_edges()
+    flat = np.fromiter(
+        (x for uv in g.edges() for x in uv), dtype=np.int64, count=2 * m
+    )
+    # the StaticGraph constructor canonicalizes (drops self-loops, dedups)
+    return StaticGraph(n, flat.reshape(m, 2))
 
 
 def nx_node_connectivity(g: StaticGraph) -> int:

@@ -8,6 +8,33 @@ keeps fault-tolerance experiments referentially transparent and lets
 neighbor queries be O(log d) binary searches over contiguous memory
 (cache-friendly, per the vectorization guidance in the HPC guides).
 
+CSR layout and invariants
+-------------------------
+The canonical storage is three flat int64 arrays (the Seastar
+``StaticGraph``/``CSR`` layout):
+
+* ``row_offsets`` — length ``n + 1``, monotone, ``row_offsets[0] == 0``;
+  node ``v``'s neighbor slice is
+  ``col_indices[row_offsets[v]:row_offsets[v + 1]]``.
+* ``col_indices`` — length ``2E``, every undirected edge stored in both
+  directions, each row **sorted ascending** (so the concatenated stream
+  is globally sorted by the directed key ``u * n + v``).
+* ``edge_ids`` — length ``2E``, parallel to ``col_indices``: the
+  *undirected* edge id of each directed slot.  Ids are the rank of the
+  canonical ``(min, max)`` endpoint pair in lexicographic order, so
+  ``edges()[edge_ids[s]]`` is the undirected edge slot ``s`` encodes and
+  the two mirrored slots of an edge carry the same id.  Built lazily —
+  derived views (``adjacency_dict``, the ``has_edges`` key array) follow
+  the same lazy-cache pattern.
+
+Everything else is derived: ``degrees() == diff(row_offsets)``,
+``edge_count == len(col_indices) // 2``.  The legacy names ``indptr`` /
+``indices`` alias ``row_offsets`` / ``col_indices``.  The per-node dict
+adjacency survives only as the lazily-built :meth:`adjacency_dict`
+compatibility view; every hot path (frontier gathers, routing-table
+compiles, the batch engine's queue registry, the shared-memory plane)
+consumes the flat arrays directly.
+
 Conventions
 -----------
 * Nodes are ``0..n-1``.
@@ -70,7 +97,7 @@ class StaticGraph:
 
     __slots__ = (
         "_n", "_indptr", "_indices", "_edge_count", "_hash", "_edge_keys",
-        "_shm",
+        "_edge_ids", "_adj", "_shm",
     )
 
     def __init__(self, num_nodes: int, edges: Iterable | np.ndarray = ()):
@@ -106,9 +133,69 @@ class StaticGraph:
             self._indices = np.empty(0, dtype=_INDEX_DTYPE)
             self._edge_count = 0
         self._n = n
+        self._init_caches()
+
+    def _init_caches(self) -> None:
         self._hash: int | None = None
         self._edge_keys: np.ndarray | None = None
+        self._edge_ids: np.ndarray | None = None
+        self._adj: dict[int, list[int]] | None = None
         self._shm = None  # keep-alive handle when CSR lives in shared memory
+
+    @classmethod
+    def from_csr(
+        cls,
+        num_nodes: int,
+        row_offsets: np.ndarray,
+        col_indices: np.ndarray,
+        *,
+        validate: bool = False,
+    ) -> "StaticGraph":
+        """Build directly from canonical CSR arrays — the trusted fast path.
+
+        The arrays are adopted as-is (no re-canonicalization, no sort), so
+        the caller guarantees the layout invariants in the module
+        docstring: monotone ``row_offsets`` starting at 0 and ending at
+        ``len(col_indices)``, per-row sorted neighbor lists, every edge
+        mirrored, no self-loops, no duplicates.  Cheap shape/monotonicity
+        checks always run; ``validate=True`` additionally verifies
+        sortedness, mirroring, and the self-loop ban (O(E log E) — meant
+        for tests and untrusted inputs, not hot paths).
+        """
+        n = int(num_nodes)
+        if n < 0:
+            raise ParameterError(f"num_nodes must be >= 0, got {num_nodes}")
+        indptr = np.ascontiguousarray(row_offsets, dtype=_INDEX_DTYPE)
+        indices = np.ascontiguousarray(col_indices, dtype=_INDEX_DTYPE)
+        if indptr.shape != (n + 1,):
+            raise GraphFormatError(
+                f"row_offsets must have shape ({n + 1},), got {indptr.shape}"
+            )
+        if indptr[0] != 0 or indptr[-1] != indices.size or (np.diff(indptr) < 0).any():
+            raise GraphFormatError("row_offsets must be monotone from 0 to len(col_indices)")
+        if indices.size % 2:
+            raise GraphFormatError("col_indices must mirror every edge (even length)")
+        if validate and indices.size:
+            if indices.min() < 0 or indices.max() >= n:
+                raise GraphFormatError("col_indices endpoint out of range")
+            src = np.repeat(np.arange(n, dtype=_INDEX_DTYPE), np.diff(indptr))
+            keys = src * n + indices
+            if (np.diff(keys) <= 0).any():
+                raise GraphFormatError(
+                    "col_indices rows must be sorted with no duplicates"
+                )
+            if (src == indices).any():
+                raise GraphFormatError("col_indices must not contain self-loops")
+            mirrored = np.sort(indices * n + src)
+            if not np.array_equal(mirrored, keys):
+                raise GraphFormatError("every edge must appear in both directions")
+        g = cls.__new__(cls)
+        g._n = n
+        g._indptr = indptr
+        g._indices = indices
+        g._edge_count = int(indices.size) // 2
+        g._init_caches()
+        return g
 
     # -- basic accessors ---------------------------------------------------
 
@@ -122,27 +209,102 @@ class StaticGraph:
         """Number of undirected edges (each counted once)."""
         return self._edge_count
 
-    @property
-    def indptr(self) -> np.ndarray:
-        """CSR row-pointer array of length ``n + 1`` (read-only view)."""
-        v = self._indptr.view()
+    @staticmethod
+    def _readonly(arr: np.ndarray) -> np.ndarray:
+        v = arr.view()
         v.flags.writeable = False
         return v
 
     @property
+    def row_offsets(self) -> np.ndarray:
+        """Canonical CSR row-pointer array, length ``n + 1`` (read-only)."""
+        return self._readonly(self._indptr)
+
+    @property
+    def col_indices(self) -> np.ndarray:
+        """Canonical CSR concatenated sorted neighbor array (read-only)."""
+        return self._readonly(self._indices)
+
+    @property
+    def edge_ids(self) -> np.ndarray:
+        """Undirected edge id per directed CSR slot (read-only, lazy).
+
+        ``edge_ids[s]`` is the rank of slot ``s``'s canonical
+        ``(min, max)`` endpoint pair among all edges in lexicographic
+        order — exactly the row index into :meth:`edges`.  The two
+        mirrored slots of an edge share one id, and the ids cover
+        ``0..edge_count-1``.
+        """
+        if self._edge_ids is None:
+            src = np.repeat(
+                np.arange(self._n, dtype=_INDEX_DTYPE), np.diff(self._indptr)
+            )
+            lo = np.minimum(src, self._indices)
+            hi = np.maximum(src, self._indices)
+            und = lo * self._n + hi
+            self._edge_ids = np.searchsorted(np.unique(und), und)
+        return self._readonly(self._edge_ids)
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Alias of :attr:`row_offsets` (legacy name)."""
+        return self.row_offsets
+
+    @property
     def indices(self) -> np.ndarray:
-        """CSR concatenated sorted neighbor array (read-only view)."""
-        v = self._indices.view()
-        v.flags.writeable = False
-        return v
+        """Alias of :attr:`col_indices` (legacy name)."""
+        return self.col_indices
+
+    @property
+    def directed_edge_keys(self) -> np.ndarray:
+        """Sorted directed-link keys ``u * n + v``, one per CSR slot
+        (read-only, lazy).  Position ``s`` in this array IS directed slot
+        ``s`` — CSR order preserves key order — which is what makes one
+        binary search resolve a ``(u, v)`` hop to its queue id in the
+        batch engine and answer :meth:`has_edges` for a whole batch.
+        """
+        if self._edge_keys is None:
+            src = np.repeat(
+                np.arange(self._n, dtype=_INDEX_DTYPE), np.diff(self._indptr)
+            )
+            self._edge_keys = src * self._n + self._indices
+        return self._readonly(self._edge_keys)
 
     def neighbors(self, v: int) -> np.ndarray:
         """Sorted neighbor ids of ``v`` as a read-only array view."""
         v = self._check_node(v)
-        out = self._indices[self._indptr[v]: self._indptr[v + 1]]
-        out = out.view()
-        out.flags.writeable = False
-        return out
+        return self._readonly(
+            self._indices[self._indptr[v]: self._indptr[v + 1]]
+        )
+
+    def neighbors_batch(
+        self, nodes: Sequence[int] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One vectorized gather of every listed node's neighbor slice.
+
+        Returns ``(nbrs, owners)``: the concatenation of each node's
+        sorted neighbor list (in input order) and the parallel array
+        naming which input node each neighbor belongs to.  This is the
+        frontier-expansion primitive — one call expands a whole BFS
+        frontier with no Python-level per-node loop (see
+        :func:`repro.graphs.properties.bfs_distances`).
+        """
+        nodes = np.asarray(nodes, dtype=_INDEX_DTYPE).ravel()
+        if nodes.size == 0:
+            return (np.empty(0, dtype=_INDEX_DTYPE),
+                    np.empty(0, dtype=_INDEX_DTYPE))
+        if nodes.min() < 0 or nodes.max() >= self._n:
+            raise GraphFormatError("node id out of range in neighbors_batch")
+        indptr = self._indptr
+        counts = indptr[nodes + 1] - indptr[nodes]
+        total = int(counts.sum())
+        # base[i] repeats each slice start; inner[i] counts 0..c-1 within it
+        base = np.repeat(indptr[nodes], counts)
+        ends = np.cumsum(counts)
+        inner = np.arange(total, dtype=_INDEX_DTYPE) - np.repeat(
+            ends - counts, counts
+        )
+        return self._indices[base + inner], np.repeat(nodes, counts)
 
     def degree(self, v: int) -> int:
         """Degree of node ``v``."""
@@ -182,24 +344,43 @@ class StaticGraph:
             return np.zeros(0, dtype=bool)
         if us.min() < 0 or vs.min() < 0 or us.max() >= self._n or vs.max() >= self._n:
             raise GraphFormatError("endpoint out of range in has_edges")
-        # The CSR stream is sorted by (src, dst), so src*n + dst is a globally
-        # sorted key array and one vectorized binary search answers all
-        # queries at once.
-        if self._edge_keys is None:
-            src = np.repeat(
-                np.arange(self._n, dtype=_INDEX_DTYPE), np.diff(self._indptr)
-            )
-            self._edge_keys = src * self._n + self._indices
+        # The CSR stream is globally sorted by (src, dst), so the cached
+        # directed-key array answers all queries with one binary search.
+        keys = self.directed_edge_keys
         q = us.ravel() * self._n + vs.ravel()
-        pos = np.searchsorted(self._edge_keys, q)
+        pos = np.searchsorted(keys, q)
         hit = np.zeros(q.shape, dtype=bool)
-        valid = pos < self._edge_keys.shape[0]
-        hit[valid] = self._edge_keys[pos[valid]] == q[valid]
+        valid = pos < keys.shape[0]
+        hit[valid] = keys[pos[valid]] == q[valid]
         return hit.reshape(us.shape)
+
+    def directed_edge_slots(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """CSR slot index of each directed link ``(us[i], vs[i])``, or
+        ``-1`` for non-edges.
+
+        The slot doubles as the directed-edge id everywhere dense
+        per-queue state is kept (the batch engine's service schedules),
+        and ``col_indices[slot] == vs[i]`` / ``edge_ids[slot]`` recover
+        the endpoint and the undirected id.
+        """
+        us = np.asarray(us, dtype=_INDEX_DTYPE).ravel()
+        vs = np.asarray(vs, dtype=_INDEX_DTYPE).ravel()
+        if us.shape != vs.shape:
+            raise GraphFormatError("endpoint arrays must have equal shape")
+        if us.size == 0:
+            return np.empty(0, dtype=_INDEX_DTYPE)
+        keys = self.directed_edge_keys
+        q = us * self._n + vs
+        pos = np.searchsorted(keys, q)
+        safe = np.minimum(pos, max(keys.size - 1, 0))
+        out = np.where(
+            (pos < keys.size) & (keys.size > 0) & (keys[safe] == q), pos, -1
+        )
+        return out.astype(_INDEX_DTYPE, copy=False)
 
     def edges(self) -> np.ndarray:
         """All undirected edges as an ``(E, 2)`` array with ``u < v`` rows,
-        sorted lexicographically."""
+        sorted lexicographically (row ``i`` is the edge with id ``i``)."""
         src = np.repeat(np.arange(self._n, dtype=_INDEX_DTYPE), self.degrees())
         mask = src < self._indices
         return np.column_stack([src[mask], self._indices[mask]])
@@ -210,8 +391,20 @@ class StaticGraph:
             yield int(u), int(v)
 
     def adjacency_dict(self) -> dict[int, list[int]]:
-        """Plain-python adjacency mapping (for debugging / golden tests)."""
-        return {v: [int(w) for w in self.neighbors(v)] for v in range(self._n)}
+        """Per-node dict adjacency as a lazily-built compatibility view.
+
+        The dict is constructed once from the CSR arrays and cached —
+        it is a *view* for debugging, golden tests and dict-era callers,
+        not a storage plane, so treat it as read-only (mutating it
+        corrupts only the cache, never the graph).
+        """
+        if self._adj is None:
+            indptr, indices = self._indptr, self._indices
+            self._adj = {
+                v: indices[indptr[v]: indptr[v + 1]].tolist()
+                for v in range(self._n)
+            }
+        return self._adj
 
     # -- derived graphs ----------------------------------------------------
 
@@ -224,6 +417,10 @@ class StaticGraph:
         node ids and ``H`` has nodes ``0..len(kept)-1`` in that order (i.e.
         new id ``i`` corresponds to original ``kept[i]``) — exactly the rank
         relabeling the paper's reconfiguration algorithm uses.
+
+        Built by masking the CSR stream directly: the rank relabeling is
+        monotone, so surviving neighbor slices stay sorted and the result
+        adopts them via :meth:`from_csr` with no re-canonicalization.
         """
         kept = np.unique(np.asarray(nodes, dtype=_INDEX_DTYPE))
         if kept.size and (kept[0] < 0 or kept[-1] >= self._n):
@@ -232,13 +429,13 @@ class StaticGraph:
         keep_mask[kept] = True
         new_id = np.full(self._n, -1, dtype=_INDEX_DTYPE)
         new_id[kept] = np.arange(kept.size, dtype=_INDEX_DTYPE)
-        e = self.edges()
-        if e.shape[0]:
-            sel = keep_mask[e[:, 0]] & keep_mask[e[:, 1]]
-            sub_edges = new_id[e[sel]]
-        else:
-            sub_edges = e
-        return StaticGraph(int(kept.size), sub_edges), kept
+        src = np.repeat(np.arange(self._n, dtype=_INDEX_DTYPE), self.degrees())
+        sel = keep_mask[src] & keep_mask[self._indices]
+        sub_indices = new_id[self._indices[sel]]
+        counts = np.bincount(new_id[src[sel]], minlength=kept.size)
+        sub_indptr = np.zeros(kept.size + 1, dtype=_INDEX_DTYPE)
+        np.cumsum(counts, out=sub_indptr[1:])
+        return StaticGraph.from_csr(int(kept.size), sub_indptr, sub_indices), kept
 
     def without_nodes(self, faulty: Sequence[int] | np.ndarray) -> tuple["StaticGraph", np.ndarray]:
         """Complement of :meth:`induced_subgraph`: drop ``faulty`` nodes."""
@@ -279,21 +476,24 @@ class StaticGraph:
     # -- shared-memory plane -----------------------------------------------
 
     def to_shm(self, *, name: str | None = None):
-        """Export the CSR arrays into one shared-memory segment.
+        """Export the canonical CSR arrays into one shared-memory segment.
 
-        Returns the owning :class:`repro.shm.ShmBlock`; any process can
-        rebuild a zero-copy view of this graph from its ``.name`` via
-        :meth:`from_shm`.  The caller owns the segment's lifecycle —
-        ``unlink()`` it once no worker needs the graph (see
-        :mod:`repro.shm` for the ownership contract).  Raises
-        :class:`repro.shm.ShmError` where shared memory is unavailable;
-        gate on :func:`repro.shm.shm_available` and fall back to
-        pickling the graph itself.
+        Exactly ``row_offsets`` and ``col_indices`` cross the boundary —
+        no conversion, no derived caches (attachers rebuild ``edge_ids``
+        and friends lazily, like any other graph).  Returns the owning
+        :class:`repro.shm.ShmBlock`; any process can rebuild a zero-copy
+        view of this graph from its ``.name`` via :meth:`from_shm`.  The
+        caller owns the segment's lifecycle — ``unlink()`` it once no
+        worker needs the graph (see :mod:`repro.shm` for the ownership
+        contract).  Raises :class:`repro.shm.ShmError` where shared
+        memory is unavailable; gate on :func:`repro.shm.shm_available`
+        and fall back to pickling the graph itself.
         """
         from repro.shm import export_arrays
 
         return export_arrays(
-            {"indptr": self._indptr, "indices": self._indices}, name=name
+            {"row_offsets": self._indptr, "col_indices": self._indices},
+            name=name,
         )
 
     @classmethod
@@ -308,13 +508,11 @@ class StaticGraph:
         from repro.shm import attach_arrays
 
         arrays, block = attach_arrays(name)
-        g = cls.__new__(cls)
-        g._indptr = arrays["indptr"]
-        g._indices = arrays["indices"]
-        g._n = int(g._indptr.shape[0]) - 1
-        g._edge_count = int(g._indices.shape[0]) // 2
-        g._hash = None
-        g._edge_keys = None
+        g = cls.from_csr(
+            int(arrays["row_offsets"].shape[0]) - 1,
+            arrays["row_offsets"],
+            arrays["col_indices"],
+        )
         g._shm = block
         return g
 
@@ -328,13 +526,17 @@ class StaticGraph:
     # -- pickling ----------------------------------------------------------
 
     def __getstate__(self):
-        # a shm-attached graph pickles by value: materialize the views
-        # (a worker cannot assume the receiving side sees the segment)
+        # pickle only the canonical arrays: derived caches rebuild lazily
+        # on the receiving side, and a shm-attached graph pickles by value
+        # (a worker cannot assume the receiver sees the segment)
         state = {s: getattr(self, s) for s in StaticGraph.__slots__}
+        state["_hash"] = None
+        state["_edge_keys"] = None
+        state["_edge_ids"] = None
+        state["_adj"] = None
         if state["_shm"] is not None:
             state["_indptr"] = np.array(self._indptr)
             state["_indices"] = np.array(self._indices)
-            state["_edge_keys"] = None
             state["_shm"] = None
         return (None, state)
 

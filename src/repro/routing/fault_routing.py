@@ -154,29 +154,14 @@ def survivor_route_table(g: StaticGraph, faults) -> "RouteTable":
     fault set, so both fault *and* repair events (churn universes)
     invalidate it and the next routed batch recompiles against the
     current survivors.
-    """
-    from repro.routing.tables import (
-        UNREACHABLE,
-        RouteTable,
-        compile_routing_table,
-    )
 
-    fset = {int(v) for v in faults}
-    if not fset:
-        return RouteTable.compile(g)
-    bad = [v for v in fset if not 0 <= v < g.node_count]
-    if bad:
-        raise RoutingError(
-            f"fault node {bad[0]} out of range [0, {g.node_count})"
-        )
-    e = g.edges()
-    dead = np.array(sorted(fset), dtype=np.int64)
-    alive = np.ones(g.node_count, dtype=bool)
-    alive[dead] = False
-    sel = alive[e[:, 0]] & alive[e[:, 1]] if e.shape[0] else np.zeros(0, bool)
-    table = compile_routing_table(StaticGraph(g.node_count, e[sel]))
-    table[dead, dead] = UNREACHABLE  # no self-route to a dead endpoint
-    return RouteTable(table)
+    The masking happens as array slicing on the canonical CSR planes
+    inside :func:`~repro.routing.tables.compile_routing_table` — no
+    survivor :class:`StaticGraph` is ever materialized.
+    """
+    from repro.routing.tables import RouteTable, compile_routing_table
+
+    return RouteTable(compile_routing_table(g, faulty=faults))
 
 
 def detour_route(g: StaticGraph, faults, src: int, dst: int) -> list[int]:

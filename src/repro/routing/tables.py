@@ -20,12 +20,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import RoutingError
+from repro.graphs.bitset import (
+    NO_PARENT,
+    hop_parent_table,
+    mask_nodes_csr,
+)
 from repro.graphs.static_graph import StaticGraph
 
 __all__ = [
     "UNREACHABLE",
     "RouteTable",
     "compile_routing_table",
+    "compile_routing_table_frontier",
     "table_reachable",
     "table_routes_batch",
     "table_routes_batch_masked",
@@ -38,31 +44,67 @@ __all__ = [
 #: defined: every entry is either a real neighbor or exactly this value,
 #: and the batch extractors either raise (:func:`table_routes_batch`) or
 #: skip-and-report (:func:`table_routes_batch_masked`) — never follow it.
-UNREACHABLE = -1
+#: Numerically the same sentinel the bitset kernel emits, so its output
+#: is adopted as a routing table without translation.
+UNREACHABLE = NO_PARENT
 
 
-def compile_routing_table(g: StaticGraph) -> np.ndarray:
-    """Next-hop table via one reverse BFS per destination.
+def compile_routing_table(g: StaticGraph, *, faulty=None) -> np.ndarray:
+    """All-pairs next-hop table via the bit-parallel CSR kernel.
 
     For destination ``d``, the BFS parent of ``v`` in the tree rooted at
-    ``d`` *is* the hop-optimal next hop (the graph is undirected).
+    ``d`` *is* the hop-optimal next hop (the graph is undirected), and
+    :func:`repro.graphs.bitset.hop_parent_table` computes every tree at
+    once: one reach-bitset sweep per level covers all ``n`` destinations,
+    64 per machine word, instead of ``n`` separate BFS runs.
 
-    Each per-destination BFS is frontier-at-a-time over the CSR arrays
-    (the :func:`repro.graphs.properties.bfs_distances` idiom): one
-    vectorized gather expands the whole frontier, so the per-epoch
-    detour-table compile is O(levels) NumPy passes per destination
-    instead of a Python loop per node — the hot path when every fault
-    epoch recompiles a survivor table on a big machine.
+    ``faulty`` (optional iterable of node ids) compiles the *survivor*
+    table directly: every fault-incident edge is masked out of the CSR
+    stream (:func:`repro.graphs.bitset.mask_nodes_csr` — pure array
+    slicing, no graph rebuild), all ``n`` rows are kept so no id
+    remapping is needed downstream, and each faulty node's diagonal is
+    forced to :data:`UNREACHABLE` so a dead endpoint never admits even
+    the trivial self-route.
 
-    Parent tie-breaking: when several frontier nodes reach an unclaimed
-    node in the same level, the winner is the first in the concatenated
-    gather (frontier in ascending node order, neighbors in CSR order).
-    Any winner is hop-optimal — the whole frontier sits at the same BFS
-    level — but equal-length *paths* may differ from the scalar
-    discovery-order BFS in :func:`~repro.routing.shortest_path.bfs_parents`,
-    which is why the conformance suite (``tests/conformance/``) pins
-    hop-count + validity equivalence rather than path equality, and the
-    golden files pin this compiler's concrete choices.
+    Parent tie-breaking: the smallest hop-optimal neighbor id (lowest
+    CSR rank) — the same rule as :func:`compile_routing_table_frontier`
+    and the dict reference in the conformance harness, so all three are
+    bit-identical; equal-length *paths* may still differ from the scalar
+    discovery-order BFS in
+    :func:`~repro.routing.shortest_path.bfs_parents`, which is why the
+    conformance suite (``tests/conformance/``) pins hop-count + validity
+    equivalence against that oracle and exact equality among compilers.
+    """
+    n = g.node_count
+    indptr, indices = g.row_offsets, g.col_indices
+    dead = None
+    if faulty is not None:
+        dead = np.unique(np.fromiter((int(v) for v in faulty), dtype=np.int64))
+        if dead.size and (dead[0] < 0 or dead[-1] >= n):
+            bad = dead[0] if dead[0] < 0 else dead[-1]
+            raise RoutingError(f"fault node {bad} out of range [0, {n})")
+        if dead.size:
+            alive = np.ones(n, dtype=bool)
+            alive[dead] = False
+            indptr, indices = mask_nodes_csr(n, indptr, indices, alive)
+    table = hop_parent_table(n, indptr, indices)
+    if dead is not None and dead.size:
+        table[dead, dead] = UNREACHABLE  # no self-route to a dead endpoint
+    return table
+
+
+def compile_routing_table_frontier(g: StaticGraph) -> np.ndarray:
+    """Next-hop table via one frontier-at-a-time reverse BFS per destination.
+
+    The retained per-destination compiler: each BFS level is one
+    vectorized gather over the CSR arrays (the
+    :meth:`~repro.graphs.static_graph.StaticGraph.neighbors_batch`
+    idiom), with the first occurrence in gather order claiming the
+    parent — the frontier is sorted ascending, so that is the smallest
+    hop-optimal neighbor id, the *same* tie-break as the bitset kernel.
+    Kept as the bench reference (``driver="compile"``) and as the
+    independently-derived second witness the differential suite checks
+    bit-for-bit against :func:`compile_routing_table`.
     """
     n = g.node_count
     table = np.full((n, n), UNREACHABLE, dtype=np.int64)

@@ -136,7 +136,15 @@ class ShmBlock:
         return self._shm.buf
 
     def close(self) -> None:
-        """Drop this process's mapping (views into it become invalid)."""
+        """Drop this process's mapping (views into it become invalid).
+
+        On the owning handle this is full teardown: an owner dropping
+        its mapping without unlinking can only leak the segment until
+        process exit, so ``close()`` delegates to :meth:`unlink`.
+        """
+        if self.owner:
+            self.unlink()
+            return
         if self._shm is not None:
             try:
                 self._shm.close()

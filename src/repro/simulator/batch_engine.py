@@ -176,10 +176,9 @@ class BatchEngine:
         self._injected_at = np.zeros(0, dtype=_I64)
         self._delivered_at = np.zeros(0, dtype=_I64)  # -1 == not delivered
         self._dropped = np.zeros(0, dtype=bool)
-        # directed-link registry: CSR order == sorted (u*n + v) key order
-        degrees = np.diff(graph.indptr)
-        src = np.repeat(np.arange(self._n, dtype=_I64), degrees)
-        self._eid_keys = src * self._n + graph.indices
+        # directed-link registry: the graph's canonical directed-key plane
+        # (CSR order == sorted (u*n + v) key order), shared with has_edges
+        self._eid_keys = graph.directed_edge_keys
         self._extra_ids: dict[int, int] = {}          # non-edge queues (rare)
         n_queues = self._eid_keys.size
         # per-queue service schedule: next slot with free capacity + packets

@@ -102,7 +102,10 @@ class GraphHandle:
 
     Shards carrying a handle pickle as a few dozen bytes regardless of
     graph size; the worker side :meth:`attach`\\ es to the segment
-    zero-copy (cached per process).  The exporting side — e.g.
+    zero-copy (cached per process).  The segment holds exactly the
+    graph's canonical CSR planes (``row_offsets``/``col_indices``) — no
+    conversion on export, and the attached graph's arrays are views
+    straight into the mapping.  The exporting side — e.g.
     :class:`~repro.simulator.shard_driver.ShardedEngine` — owns the
     segment and unlinks it when the sweep is over.
     """

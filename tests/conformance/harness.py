@@ -29,11 +29,114 @@ from repro.graphs.properties import bfs_distances
 from repro.graphs.static_graph import StaticGraph
 
 __all__ = [
+    "DictGraph",
     "survivor_on_full_node_set",
     "iter_routes",
     "assert_valid_survivor_routes",
     "hop_histogram",
 ]
+
+
+class DictGraph:
+    """The retained pure-dict reference the CSR core is measured against.
+
+    A deliberately naive re-implementation of the :class:`StaticGraph`
+    contract on python dicts/sets — no NumPy in any derived answer — so
+    the differential suite (``test_csr_differential.py``) can assert the
+    CSR planes and the bit-parallel routing compiler agree with an
+    implementation too simple to share bugs with them.
+
+    Semantics mirrored: self-loops dropped, duplicate edges merged,
+    neighbor lists sorted ascending, undirected edge ids = rank of the
+    ``(min, max)`` endpoint pair in lexicographic order, and routing
+    parents tie-broken to the *smallest hop-optimal neighbor id* — the
+    contract rule all compilers implement (see
+    :func:`repro.routing.tables.compile_routing_table`).
+    """
+
+    def __init__(self, num_nodes: int, edges=()):
+        self.n = int(num_nodes)
+        self.adj: dict[int, list[int]] = {v: [] for v in range(self.n)}
+        seen: set[tuple[int, int]] = set()
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                continue
+            lo, hi = (u, v) if u < v else (v, u)
+            seen.add((lo, hi))
+        for lo, hi in seen:
+            self.adj[lo].append(hi)
+            self.adj[hi].append(lo)
+        for v in self.adj:
+            self.adj[v].sort()
+        self.edge_list = sorted(seen)
+        self.edge_rank = {e: i for i, e in enumerate(self.edge_list)}
+
+    # -- the planes the CSR core must reproduce ------------------------
+
+    def degrees(self) -> list[int]:
+        return [len(self.adj[v]) for v in range(self.n)]
+
+    def row_offsets(self) -> list[int]:
+        out = [0]
+        for v in range(self.n):
+            out.append(out[-1] + len(self.adj[v]))
+        return out
+
+    def col_indices(self) -> list[int]:
+        return [w for v in range(self.n) for w in self.adj[v]]
+
+    def edge_ids(self) -> list[int]:
+        return [
+            self.edge_rank[(v, w) if v < w else (w, v)]
+            for v in range(self.n)
+            for w in self.adj[v]
+        ]
+
+    # -- the routing answers the bitset compiler must reproduce --------
+
+    def bfs_dist(self, source: int, dead: frozenset[int] = frozenset()) -> list[int]:
+        """Plain FIFO BFS distances (``-1`` unreachable), ``dead`` nodes
+        contribute no edges."""
+        dist = [-1] * self.n
+        if source in dead:
+            return dist
+        dist[source] = 0
+        frontier = [source]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for w in self.adj[v]:
+                    if dist[w] == -1 and w not in dead:
+                        dist[w] = dist[v] + 1
+                        nxt.append(w)
+            frontier = nxt
+        return dist
+
+    def compile_table(self, faulty=()) -> list[list[int]]:
+        """Reference next-hop table: ``table[v][d]`` is the smallest
+        neighbor of ``v`` one hop closer to ``d`` (``-1`` unreachable,
+        ``table[d][d] == d``; faulty diagonals forced to ``-1``).  Must
+        be bit-identical to
+        :func:`repro.routing.tables.compile_routing_table`.
+        """
+        dead = frozenset(int(v) for v in faulty)
+        table = [[-1] * self.n for _ in range(self.n)]
+        for d in range(self.n):
+            if d in dead:
+                continue
+            dist = self.bfs_dist(d, dead)
+            for v in range(self.n):
+                if dist[v] <= 0:
+                    continue
+                for w in self.adj[v]:  # sorted: first match = smallest
+                    if w not in dead and dist[w] == dist[v] - 1:
+                        table[v][d] = w
+                        break
+        for d in range(self.n):
+            if d not in dead:
+                table[d][d] = d
+        return table
 
 
 def survivor_on_full_node_set(g: StaticGraph, faults) -> StaticGraph:

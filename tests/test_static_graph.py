@@ -218,3 +218,144 @@ class TestPropertyBased:
     def test_edges_roundtrip(self, n, seed):
         g = random_graph(n, 0.5, np.random.default_rng(seed))
         assert StaticGraph(n, g.edges()) == g
+
+
+class TestCsrPlanes:
+    """The canonical CSR planes and their edge cases (PR-8 tentpole)."""
+
+    def test_empty_graph_planes(self):
+        g = StaticGraph(0)
+        assert g.row_offsets.tolist() == [0]
+        assert g.col_indices.size == 0
+        assert g.edge_ids.size == 0
+        assert g.directed_edge_keys.size == 0
+        assert g.adjacency_dict() == {}
+
+    def test_single_node_planes(self):
+        g = StaticGraph(1)
+        assert g.row_offsets.tolist() == [0, 0]
+        assert g.col_indices.size == 0
+        assert g.neighbors(0).size == 0
+        assert g.adjacency_dict() == {0: []}
+
+    def test_self_loops_dropped_debruijn_fixed_points(self):
+        # de Bruijn fixed points (all-zeros / all-ones strings) emit
+        # self-loops, which canonicalization must drop
+        g = StaticGraph(4, [(0, 0), (3, 3), (0, 1), (2, 3), (1, 1)])
+        assert g.edge_count == 2
+        assert not g.has_edge(0, 0)
+        assert g.edges().tolist() == [[0, 1], [2, 3]]
+
+    def test_multi_edges_merge_both_orientations(self):
+        g = StaticGraph(3, [(0, 1), (1, 0), (0, 1), (2, 1), (1, 2)])
+        assert g.edge_count == 2
+        assert g.degrees().tolist() == [1, 2, 1]
+
+    def test_aliases_are_the_same_planes(self):
+        g = StaticGraph(4, [(0, 1), (1, 2), (2, 3)])
+        assert np.array_equal(g.indptr, g.row_offsets)
+        assert np.array_equal(g.indices, g.col_indices)
+        assert not g.row_offsets.flags.writeable
+        assert not g.col_indices.flags.writeable
+        assert not g.edge_ids.flags.writeable
+
+    def test_edge_ids_rank_and_mirroring(self):
+        g = StaticGraph(4, [(2, 3), (0, 1), (1, 2)])
+        # edges() rows are lexicographic; edge_ids are their ranks
+        assert g.edges().tolist() == [[0, 1], [1, 2], [2, 3]]
+        eid = g.edge_ids
+        src = np.repeat(np.arange(4), g.degrees())
+        for s in range(eid.size):
+            u, v = int(src[s]), int(g.col_indices[s])
+            lo, hi = min(u, v), max(u, v)
+            assert g.edges()[eid[s]].tolist() == [lo, hi]
+        # both directed slots of an edge share one id, covering 0..E-1
+        assert sorted(set(eid.tolist())) == [0, 1, 2]
+
+    def test_from_csr_roundtrip_and_validate(self):
+        g = StaticGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        h = StaticGraph.from_csr(
+            5, g.row_offsets, g.col_indices, validate=True
+        )
+        assert h == g
+        assert h.edge_count == g.edge_count
+
+    def test_from_csr_rejects_malformed(self):
+        with pytest.raises(GraphFormatError):
+            StaticGraph.from_csr(2, np.array([0, 1]), np.array([1, 0]))
+        with pytest.raises(GraphFormatError):  # non-monotone offsets
+            StaticGraph.from_csr(2, np.array([0, 2, 1]), np.array([1, 0, 1]))
+        with pytest.raises(GraphFormatError):  # self-loop under validate
+            StaticGraph.from_csr(
+                2, np.array([0, 1, 2]), np.array([0, 1]), validate=True
+            )
+        with pytest.raises(GraphFormatError):  # unmirrored under validate
+            StaticGraph.from_csr(
+                3, np.array([0, 1, 2, 2]), np.array([1, 2]), validate=True
+            )
+
+    def test_neighbors_batch_matches_per_node(self):
+        g = random_graph(12, 0.4, np.random.default_rng(3))
+        frontier = np.array([0, 5, 7, 5])
+        nbrs, owners = g.neighbors_batch(frontier)
+        pos = 0
+        for v in frontier:
+            nv = g.neighbors(int(v))
+            assert nbrs[pos: pos + nv.size].tolist() == nv.tolist()
+            assert (owners[pos: pos + nv.size] == v).all()
+            pos += nv.size
+        assert pos == nbrs.size
+
+    def test_neighbors_batch_empty_and_out_of_range(self):
+        g = StaticGraph(3, [(0, 1)])
+        nbrs, owners = g.neighbors_batch(np.array([], dtype=np.int64))
+        assert nbrs.size == 0 and owners.size == 0
+        with pytest.raises(GraphFormatError):
+            g.neighbors_batch(np.array([3]))
+
+    def test_adjacency_dict_is_cached_view(self):
+        g = StaticGraph(3, [(0, 1), (1, 2)])
+        d1 = g.adjacency_dict()
+        assert d1 == {0: [1], 1: [0, 2], 2: [1]}
+        assert g.adjacency_dict() is d1  # built once, cached
+
+    def test_directed_edge_slots(self):
+        g = StaticGraph(4, [(0, 1), (1, 2), (2, 3)])
+        us = np.array([0, 1, 2, 3, 0])
+        vs = np.array([1, 0, 3, 2, 3])
+        slots = g.directed_edge_slots(us, vs)
+        assert (slots[:4] >= 0).all()
+        assert slots[4] == -1  # (0, 3) is not an edge
+        assert (g.col_indices[slots[:4]] == vs[:4]).all()
+
+    def test_faulted_node_sentinel_rows(self):
+        # masking faults keeps all n rows; dead rows compile to sentinels
+        from repro.routing.fault_routing import survivor_route_table
+        from repro.routing.tables import UNREACHABLE
+
+        g = StaticGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        rt = survivor_route_table(g, [2])
+        assert (rt.table[2, :] == UNREACHABLE).all()
+        assert (rt.table[:, 2] == UNREACHABLE).all()
+        assert rt.table[2, 2] == UNREACHABLE  # dead diagonal too
+        assert rt.table[0, 4] == 4  # survivors still route around
+
+    def test_induced_subgraph_preserves_canonical_form(self):
+        g = random_graph(15, 0.4, np.random.default_rng(9))
+        h, kept = g.induced_subgraph(np.arange(0, 15, 2))
+        # result must satisfy the full CSR invariants (validate re-checks)
+        h2 = StaticGraph.from_csr(
+            h.node_count, h.row_offsets, h.col_indices, validate=True
+        )
+        assert h2 == h
+
+    def test_pickle_drops_caches_but_roundtrips(self):
+        import pickle
+
+        g = StaticGraph(4, [(0, 1), (1, 2), (2, 3)])
+        g.edge_ids  # populate caches
+        g.adjacency_dict()
+        h = pickle.loads(pickle.dumps(g))
+        assert h == g
+        assert h.edge_ids.tolist() == g.edge_ids.tolist()
+        assert h.adjacency_dict() == g.adjacency_dict()

@@ -58,14 +58,22 @@ Two row kinds:
   that replica realization happens in the submitting process and is
   independent of where each task runs.
 * ``driver="compile"`` — the per-epoch survivor-table *compile* itself:
-  the pre-vectorization scalar reference (one discovery-order BFS per
-  destination) vs the shipped frontier-at-a-time gather compiler.  The
-  generic columns hold (scalar, vector) seconds; ``identical_stats``
-  means the conformance contract for tables — identical reachability
-  and hop-optimal route lengths on every reachable pair (tie-breaking
-  between equal-length paths is allowed to differ).  ``packets`` counts
-  the reachable pairs compared; the simulation columns are zero (no
-  traffic runs).
+  the retained frontier-at-a-time per-destination compiler (the PR-5
+  vectorization, one BFS per destination) vs the shipped bit-parallel
+  reach-bitset kernel that advances all destinations at once
+  (``repro.graphs.bitset``).  The generic columns hold (frontier,
+  bitset) seconds; because both implement the same smallest-neighbor
+  tie-break, ``identical_stats`` here is full **bit-equality** of the
+  two tables.  ``packets`` counts the reachable pairs; the simulation
+  columns are zero (no traffic runs).
+* ``driver="csr"`` — the CSR core's frontier-expansion primitive raced
+  against its own dict-view fallback: BFS distance sweeps from a fixed
+  source sample, once walking the lazily-built ``adjacency_dict()``
+  compatibility view in python, once through the canonical-array path
+  (``StaticGraph.neighbors_batch``).  The generic columns hold (dict,
+  csr) seconds; ``identical_stats`` is bit-equal distance vectors, and
+  the extra ``compile_seconds`` records one full bitset table compile
+  on the same machine for the trajectory.
 
 The report exits nonzero — naming each offending workload on stderr —
 whenever any row disagrees across engines, so CI can use it as a
@@ -118,7 +126,8 @@ FULL_SUITE = [
     ("shm", "uniform", 2, 9, 1, 40_000, [(0, 40)]),
     ("detour", "uniform", 2, 8, 1, 20_000, [3, 40]),
     ("montecarlo", "uniform", 2, 9, 1, 10_000, []),
-    ("compile", "uniform", 2, 9, 1, 0, [3, 40]),
+    ("compile", "uniform", 2, 12, 1, 0, [3, 40]),
+    ("csr", "uniform", 2, 14, 1, 0, []),
 ]
 QUICK_SUITE = [
     ("engine", "uniform", 2, 7, 1, 5_000, []),
@@ -129,6 +138,7 @@ QUICK_SUITE = [
     ("detour", "uniform", 2, 6, 1, 3_000, [9]),
     ("montecarlo", "uniform", 2, 6, 1, 2_000, []),
     ("compile", "uniform", 2, 7, 1, 0, [9]),
+    ("csr", "uniform", 2, 7, 1, 0, []),
 ]
 
 
@@ -393,60 +403,106 @@ def run_montecarlo_row(pattern, m, h, k, packets, faults, seed=0,
 
 
 def run_compile_row(pattern, m, h, k, packets, fault_nodes, seed=0):
-    """Race the pre-vectorization scalar survivor-table compile against
-    the shipped frontier-at-a-time compiler on one fault epoch; the
-    conformance check is identical reachability + hop-optimal route
-    lengths on every reachable pair (path tie-breaking may differ)."""
+    """Race the retained frontier-at-a-time per-destination compiler
+    against the bit-parallel reach-bitset kernel on one fault epoch.
+    Both implement the smallest-hop-optimal-neighbor tie-break, so the
+    check is full bit-equality of the two survivor tables."""
     from types import SimpleNamespace
 
     from repro.core.debruijn import debruijn
+    from repro.graphs.bitset import mask_nodes_csr
     from repro.graphs.static_graph import StaticGraph
     from repro.routing.fault_routing import survivor_route_table
-    from repro.routing.shortest_path import bfs_parents
-    from repro.routing.tables import UNREACHABLE, table_routes_batch
+    from repro.routing.tables import UNREACHABLE, compile_routing_table_frontier
 
     g = debruijn(m, h)
     n = g.node_count
     faults = sorted(int(v) for v in fault_nodes)
+    dead = np.array(faults, dtype=np.int64)
 
-    def scalar_compile():
-        # the pre-vectorization reference: one discovery-order scalar
-        # BFS per destination on the survivor graph, original node ids
-        e = g.edges()
+    def frontier_compile():
+        # per-destination frontier BFS on the masked survivor CSR
         alive = np.ones(n, dtype=bool)
-        alive[faults] = False
-        sel = alive[e[:, 0]] & alive[e[:, 1]]
-        sub = StaticGraph(n, e[sel])
-        table = np.full((n, n), UNREACHABLE, dtype=np.int64)
-        for d in range(n):
-            parent = bfs_parents(sub, d)
-            reach = parent >= 0
-            table[reach, d] = parent[reach]
-            table[d, d] = d
-        dead = np.array(faults, dtype=np.int64)
+        alive[dead] = False
+        indptr, indices = mask_nodes_csr(n, g.row_offsets, g.col_indices, alive)
+        table = compile_routing_table_frontier(
+            StaticGraph.from_csr(n, indptr, indices)
+        )
         table[dead, dead] = UNREACHABLE
         return table
 
     t0 = time.perf_counter()
-    scalar_table = scalar_compile()
-    t_scalar = time.perf_counter() - t0
+    frontier_table = frontier_compile()
+    t_frontier = time.perf_counter() - t0
     t0 = time.perf_counter()
-    vector_table = survivor_route_table(g, faults).table
-    t_vector = time.perf_counter() - t0
+    bitset_table = survivor_route_table(g, faults).table
+    t_bitset = time.perf_counter() - t0
 
-    reach = vector_table != UNREACHABLE
-    srcs, dsts = np.nonzero(reach)
-    identical = np.array_equal(reach, scalar_table != UNREACHABLE)
-    if identical and srcs.size:
-        _, off_v = table_routes_batch(vector_table, srcs, dsts)
-        _, off_s = table_routes_batch(scalar_table, srcs, dsts)
-        identical = np.array_equal(np.diff(off_v), np.diff(off_s))
+    identical = np.array_equal(frontier_table, bitset_table)
+    reachable = int(np.count_nonzero(bitset_table != UNREACHABLE))
     st = SimpleNamespace(cycles=0, delivered=0, dropped=0)
-    return t_scalar, t_vector, st, identical, int(srcs.size), {
+    return t_frontier, t_bitset, st, identical, reachable, {
         "nodes": n,
         "faults_applied": len(faults),
-        "scalar_seconds": round(t_scalar, 4),
-        "vector_seconds": round(t_vector, 4),
+        "frontier_seconds": round(t_frontier, 4),
+        "bitset_seconds": round(t_bitset, 4),
+    }
+
+
+def run_csr_row(pattern, m, h, k, packets, fault_nodes, seed=0, sources=32):
+    """Race the dict-view fallback against the canonical CSR array path
+    on the frontier-expansion primitive: BFS distance sweeps from a
+    fixed source sample, python-walking ``adjacency_dict()`` vs the
+    vectorized ``neighbors_batch`` gather.  Distances must be bit-equal;
+    ``compile_seconds`` additionally records one full bitset table
+    compile on the same machine."""
+    from types import SimpleNamespace
+
+    from repro.core.debruijn import debruijn
+    from repro.graphs.properties import bfs_distances
+    from repro.routing.tables import compile_routing_table
+
+    g = debruijn(m, h)
+    n = g.node_count
+    rng = np.random.default_rng(seed)
+    srcs = rng.choice(n, size=min(sources, n), replace=False)
+
+    def dict_bfs(adj, source):
+        dist = [-1] * n
+        dist[source] = 0
+        frontier = [source]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for w in adj[v]:
+                    if dist[w] == -1:
+                        dist[w] = dist[v] + 1
+                        nxt.append(w)
+            frontier = nxt
+        return dist
+
+    t0 = time.perf_counter()
+    adj = g.adjacency_dict()  # the fallback pays its own view build
+    dict_dists = [dict_bfs(adj, int(s)) for s in srcs]
+    t_dict = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    csr_dists = [bfs_distances(g, int(s)) for s in srcs]
+    t_csr = time.perf_counter() - t0
+
+    identical = all(
+        d.tolist() == ref for d, ref in zip(csr_dists, dict_dists)
+    )
+    t0 = time.perf_counter()
+    compile_routing_table(g)
+    t_compile = time.perf_counter() - t0
+    st = SimpleNamespace(cycles=0, delivered=0, dropped=0)
+    return t_dict, t_csr, st, identical, int(srcs.size) * n, {
+        "nodes": n,
+        "sources": int(srcs.size),
+        "dict_seconds": round(t_dict, 4),
+        "csr_seconds": round(t_csr, 4),
+        "compile_seconds": round(t_compile, 4),
     }
 
 
@@ -484,6 +540,10 @@ def run_config(driver, pattern, m, h, k, packets, faults, seed=0, workers=None):
         t_obj, t_bat, st, identical, count, extra = run_compile_row(
             pattern, m, h, k, packets, faults, seed
         )
+    elif driver == "csr":
+        t_obj, t_bat, st, identical, count, extra = run_csr_row(
+            pattern, m, h, k, packets, faults, seed
+        )
     else:
         raise ValueError(f"unknown driver {driver!r}")
     return {
@@ -519,7 +579,8 @@ def main(argv=None) -> int:
         sides = {"sweep": ("single", "sharded"), "pool": ("cold", "warm"),
                  "shm": ("pickle", "shm"), "detour": ("bfs", "table"),
                  "montecarlo": ("sequential", "pool"),
-                 "compile": ("scalar", "vector")}
+                 "compile": ("frontier", "bitset"),
+                 "csr": ("dict", "csr")}
         left, right = sides.get(row["driver"], ("object", "batch"))
         print(
             f"{row['driver']:>10} {row['pattern']:>10} "
