@@ -31,6 +31,7 @@ from repro.errors import (  # noqa: F401
     RoutingError,
     SimulationError,
     ToleranceViolation,
+    WorkerDiedError,
 )
 
 __version__ = "1.0.0"
@@ -46,5 +47,6 @@ __all__ = list(_core_all) + [
     "ToleranceViolation",
     "RoutingError",
     "SimulationError",
+    "WorkerDiedError",
     "__version__",
 ]

@@ -224,26 +224,27 @@ def _load_run_input(path: str):
     """
     import json
 
-    from repro.experiments import ExperimentGrid, ExperimentSpec
+    from repro.experiments import parse_run_payload
 
     with open(path) as fh:
         payload = json.load(fh)
-    if not isinstance(payload, dict):
-        raise ReproError(f"{path}: expected a JSON object")
-    for wrapper, cls in (("grid", ExperimentGrid), ("experiment", ExperimentSpec)):
-        if wrapper in payload:
-            # the wrapper form must wrap *only* — a field that drifted up
-            # to the top level (a misplaced axis, a typo'd sibling) would
-            # otherwise be dropped silently and the run would use defaults
-            extras = sorted(set(payload) - {wrapper})
-            if extras:
-                raise ReproError(
-                    f"{path}: unexpected keys {extras} next to "
-                    f"{wrapper!r} — every field belongs inside the "
-                    f"{wrapper!r} object"
-                )
-            return cls.from_dict(payload[wrapper]), wrapper
-    return ExperimentSpec.from_dict(payload), "experiment"
+    return parse_run_payload(payload, origin=path)
+
+
+def _install_signal_handlers() -> None:
+    """Make SIGTERM behave like Ctrl-C: the KeyboardInterrupt unwinds
+    through the pool's context manager, which force-closes — busy
+    workers are terminated and owned /dev/shm segments unlinked — so a
+    ``kill`` leaves neither orphan processes nor leaked segments."""
+    import signal
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -255,6 +256,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.simulator.shard_driver import ShardStats
     from repro.simulator.streaming import find_saturation
 
+    _install_signal_handlers()
     target, kind = _load_run_input(args.spec)
     rates = [float(x) for x in args.rates.split(",")] if args.rates else None
     if rates is not None and (kind != "experiment" or target.loop != "stream"):
@@ -364,6 +366,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"wrote {args.json}")
     return 1 if check_failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    _install_signal_handlers()
+    return serve(host=args.host, port=args.port, workers=args.workers,
+                 chunk_size=args.chunk_size, max_retries=args.max_retries)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -646,6 +656,32 @@ def build_parser() -> argparse.ArgumentParser:
                     "curve) as JSON")
     rn.set_defaults(func=_cmd_run)
 
+    sv = sub.add_parser(
+        "serve",
+        help="run the experiment service: accept spec/grid JSON over "
+             "HTTP on one persistent worker pool",
+        description="Starts a daemon that accepts the same "
+                    "ExperimentSpec/ExperimentGrid JSON as `repro run` "
+                    "via POST /experiments, validates it at the door, "
+                    "and schedules jobs on one warm worker pool shared "
+                    "across requests.  Results are bit-identical to "
+                    "`repro run` on the same JSON; per-cell rows stream "
+                    "as NDJSON from /jobs/<id>/stream.  See "
+                    "docs/service.md for endpoints and curl recipes.",
+    )
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: 127.0.0.1)")
+    sv.add_argument("--port", type=int, default=8642,
+                    help="bind port (default: 8642; 0 = ephemeral)")
+    sv.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: one per CPU core)")
+    sv.add_argument("--chunk-size", type=int, default=None,
+                    help="tasks per work-stealing chunk (default: auto)")
+    sv.add_argument("--max-retries", type=int, default=2,
+                    help="retries for a cell whose worker process dies "
+                    "(default: 2)")
+    sv.set_defaults(func=_cmd_serve)
+
     be = sub.add_parser(
         "bench-engines",
         help="race the object vs. batch simulation engines on one workload",
@@ -777,6 +813,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

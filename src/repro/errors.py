@@ -68,3 +68,10 @@ class RoutingError(ReproError):
 class SimulationError(ReproError):
     """The simulator reached an inconsistent state (undeliverable packet,
     event scheduled in the past, or a protocol violation)."""
+
+
+class WorkerDiedError(SimulationError):
+    """A worker process died mid-task without reporting a result (killed
+    or crashed hard).  Distinguished from ordinary task failures so
+    schedulers can retry: the task itself may be fine — the *process*
+    hosting it is what vanished."""

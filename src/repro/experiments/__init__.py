@@ -43,6 +43,7 @@ from repro.experiments.spec import (
     ExperimentGrid,
     ExperimentResult,
     ExperimentSpec,
+    parse_run_payload,
 )
 from repro.simulator.shard_driver import GridResult, run_grid
 
@@ -62,6 +63,7 @@ __all__ = [
     "ExperimentSpec",
     "GridResult",
     "run_grid",
+    "parse_run_payload",
     "make_engine",
     "make_source",
     "make_pattern",

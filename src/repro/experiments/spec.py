@@ -81,6 +81,7 @@ __all__ = [
     "ExperimentSpec",
     "ExperimentGrid",
     "ExperimentResult",
+    "parse_run_payload",
 ]
 
 #: The two loop kinds a spec can describe: ``"closed"`` injects fixed
@@ -758,3 +759,35 @@ class ExperimentGrid:
     @classmethod
     def from_json(cls, text: str) -> "ExperimentGrid":
         return cls.from_dict(json.loads(text))
+
+
+def parse_run_payload(payload, *, origin: str = "request"):
+    """Parse a run request — the ``repro run`` JSON shape — into
+    ``(target, kind)``.
+
+    Accepted shapes: a bare :class:`ExperimentSpec` field object,
+    ``{"experiment": {...}}``, or ``{"grid": {...}}`` for an
+    :class:`ExperimentGrid`.  This is the single front door shared by
+    the CLI (``repro run <file>``) and the HTTP service (``POST
+    /experiments``): both validate against the backend registries at
+    construction time and reject a malformed payload with the exact
+    :class:`~repro.errors.ParameterError` message before any worker is
+    touched.  ``origin`` names the payload in error messages (the file
+    path, or the request route).
+    """
+    if not isinstance(payload, dict):
+        raise ParameterError(f"{origin}: expected a JSON object")
+    for wrapper, cls in (("grid", ExperimentGrid), ("experiment", ExperimentSpec)):
+        if wrapper in payload:
+            # the wrapper form must wrap *only* — a field that drifted up
+            # to the top level (a misplaced axis, a typo'd sibling) would
+            # otherwise be dropped silently and the run would use defaults
+            extras = sorted(set(payload) - {wrapper})
+            if extras:
+                raise ParameterError(
+                    f"{origin}: unexpected keys {extras} next to "
+                    f"{wrapper!r} — every field belongs inside the "
+                    f"{wrapper!r} object"
+                )
+            return cls.from_dict(payload[wrapper]), wrapper
+    return ExperimentSpec.from_dict(payload), "experiment"

@@ -1,0 +1,17 @@
+"""The experiment service: submit :class:`~repro.experiments.ExperimentSpec`
+/ :class:`~repro.experiments.ExperimentGrid` JSON over HTTP, run cells on
+one persistent :class:`~repro.simulator.pool.WorkerPool`, stream results
+as they land.  ``repro serve`` is the CLI entry; see docs/service.md."""
+
+from repro.service.jobs import STATES, TERMINAL, Job, JobQueue, JobRunner
+from repro.service.server import ExperimentService, serve
+
+__all__ = [
+    "ExperimentService",
+    "Job",
+    "JobQueue",
+    "JobRunner",
+    "STATES",
+    "TERMINAL",
+    "serve",
+]

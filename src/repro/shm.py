@@ -38,13 +38,17 @@ from __future__ import annotations
 import pickle
 import secrets
 import struct
+import weakref
 from typing import Mapping
 
 import numpy as np
 
 from repro.errors import ReproError
 
-__all__ = ["ShmBlock", "export_arrays", "attach_arrays", "shm_available"]
+__all__ = [
+    "ShmBlock", "export_arrays", "attach_arrays", "shm_available",
+    "unlink_owned",
+]
 
 _ALIGN = 16
 _LEN = struct.Struct("<q")  # manifest length prefix
@@ -56,6 +60,30 @@ _available: bool | None = None
 #: from re-raising the BufferError as an unraisable warning at GC time;
 #: the mapping itself is reclaimed at process exit either way.
 _unreleased: list = []
+
+#: Every live owner handle created by this process, weakly held.  The
+#: interrupt path (:func:`unlink_owned`) walks this instead of waiting
+#: for GC finalizers: a Ctrl-C that lands mid-``map`` unwinds the stack
+#: past whoever was holding the block, and a leaked ``/dev/shm`` segment
+#: holds kernel memory until reboot.
+_OWNED_BLOCKS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def unlink_owned() -> int:
+    """Unlink every shared-memory segment this process still owns.
+
+    Returns the number of segments actually removed.  Safe to call from
+    signal/interrupt handlers and idempotent — :meth:`ShmBlock.unlink`
+    is a no-op on closed or non-owner handles.  Normal code should keep
+    unlinking through the owning handle; this is the emergency sweep for
+    teardown paths that cannot reach the owners anymore.
+    """
+    n = 0
+    for block in list(_OWNED_BLOCKS):
+        if block._shm is not None:
+            block.unlink()
+            n += 1
+    return n
 
 
 class ShmError(ReproError):
@@ -128,6 +156,8 @@ class ShmBlock:
         self._shm = shm
         self.name = shm.name
         self.owner = owner
+        if owner:
+            _OWNED_BLOCKS.add(self)
 
     @property
     def buf(self):  # memoryview of the whole segment

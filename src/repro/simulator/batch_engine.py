@@ -457,18 +457,29 @@ class BatchEngine:
         self._seq += size
         self._in_flight += size
 
-        distinct = np.unique(depart)
-        if distinct.size == 1:
-            self._file(int(distinct[0]), (pid, ptr, key, seq))
-            return
         d_order = np.argsort(depart, kind="stable")
+        ds = depart[d_order]
+        if ds[0] == ds[-1]:  # single bucket: stable sort kept the order
+            self._file(int(ds[0]), (pid, ptr, key, seq))
+            return
         pid, ptr, key, seq = pid[d_order], ptr[d_order], key[d_order], seq[d_order]
-        bounds = np.searchsorted(depart[d_order], distinct)
-        lo = 0
-        for i, cyc in enumerate(distinct):
-            hi = bounds[i + 1] if i + 1 < distinct.size else depart.size
-            self._file(int(cyc), (pid[lo:hi], ptr[lo:hi], key[lo:hi], seq[lo:hi]))
-            lo = hi
+        dfirst = np.empty(size, dtype=bool)
+        dfirst[0] = True
+        np.not_equal(ds[1:], ds[:-1], out=dfirst[1:])
+        bounds = np.flatnonzero(dfirst).tolist()
+        cycs = ds[bounds].tolist()
+        bounds.append(size)
+        buckets = self._buckets
+        heap = self._bucket_heap
+        for i, cyc in enumerate(cycs):
+            lo, hi = bounds[i], bounds[i + 1]
+            chunk = (pid[lo:hi], ptr[lo:hi], key[lo:hi], seq[lo:hi])
+            bucket = buckets.get(cyc)
+            if bucket is None:
+                buckets[cyc] = [chunk]
+                heapq.heappush(heap, cyc)
+            else:
+                bucket.append(chunk)
 
     def _file(self, cyc: int, chunk: tuple[np.ndarray, ...]) -> None:
         """Append a chunk to the calendar bucket for ``cyc``."""
@@ -612,6 +623,146 @@ class BatchEngine:
         self._bucket_heap.clear()
         return -1
 
+    def _step_coalesced(self, start: int, max_cycles: int,
+                        limit: int = 64) -> int:
+        """Process up to ``limit`` upcoming calendar buckets in one
+        vectorized pass, bit-identical to stepping them one at a time.
+
+        The contention phase of a hotspot drain schedules thousands of
+        near-empty buckets — a handful of packets per cycle trickling
+        out of a few backlogged queues — and :meth:`step` pays its fixed
+        NumPy overhead for every one of them.  A window of consecutive
+        buckets can be settled wholesale exactly when no packet in it
+        can interact with a *later bucket inside the window*: every
+        continuer's next queue must already be scheduled past the
+        window's last cycle (``next_slot > last``), so each join lands
+        strictly after the window, per-queue FIFO order is untouched,
+        and the slot arithmetic reduces to the same segmented
+        :meth:`_join` the per-bucket path runs.  Terminal packets
+        (deliver or drop) never touch queue state and are always safe.
+        In a congested drain the condition holds by construction — the
+        hot queues are backlogged far beyond any 64-bucket window — so
+        the window replaces up to ``limit`` steps with one pass.
+
+        Buckets are verified in cycle order against the full window's
+        last cycle, so a failing bucket only shrinks the window to the
+        verified prefix (checked against a *later* cycle, hence still
+        safe).  Returns the number of buckets processed, or ``0`` when
+        fewer than two buckets were safe (caller falls back to
+        :meth:`step`; popped heap entries are pushed back).
+        """
+        heap = self._bucket_heap
+        cycles: list[int] = []
+        pids, ptrs, buckets, sizes = [], [], [], []
+        total = 0
+        while heap and len(cycles) < limit and total < 4096:
+            c = heap[0]
+            if c not in self._buckets:
+                heapq.heappop(heap)  # stale: bucket already processed
+                continue
+            if c - start > max_cycles:
+                break  # over budget: the normal loop must raise
+            heapq.heappop(heap)
+            cycles.append(c)
+            bucket = self._buckets[c]
+            sz = 0
+            for ch in bucket:
+                pids.append(ch[0])
+                ptrs.append(ch[1])
+                sz += ch[0].size
+            buckets.append(bucket)
+            sizes.append(sz)
+            total += sz
+        if len(cycles) < 2:
+            for c in cycles:
+                heapq.heappush(heap, c)
+            return 0
+        last = cycles[-1]
+        n = self._n
+        # cheap front gate: when the first bucket already holds a
+        # continuer whose join lands by the second cycle, no window is
+        # possible at all (the full check would shrink to taken < 2), so
+        # bail for roughly the cost of one step.  This is the common
+        # failure in both regimes — uncongested queues re-join one cycle
+        # out, and a shrunk window leaves its offender at the front.
+        k0 = len(buckets[0])
+        pid0 = pids[0] if k0 == 1 else np.concatenate(pids[:k0])
+        ptr10 = (ptrs[0] if k0 == 1 else np.concatenate(ptrs[:k0])) + 1
+        node0 = self._flat[ptr10]
+        cont0 = (ptr10 != self._off[pid0 + 1] - 1) & ~self._dead[node0]
+        if cont0.any():
+            nxt0 = self._flat[np.where(cont0, ptr10 + 1, ptr10)]
+            cont0 &= ~(self._dead[nxt0] | self._links_dead(node0, nxt0))
+            live0 = np.flatnonzero(cont0)
+            if live0.size:
+                eids0 = self._queue_ids(node0[live0] * n + nxt0[live0])
+                if (self._q_next_slot[eids0] <= cycles[1]).any():
+                    for c in cycles:
+                        heapq.heappush(heap, c)
+                    return 0
+        # safety pass over the bare minimum (pid/ptr, bucket-major order):
+        # queue keys, seqs, and the service-order sort wait until the
+        # window is known safe, so a deep failed probe costs under a step
+        pid = np.concatenate(pids)
+        ptr1 = np.concatenate(ptrs) + 1
+        bidx = np.repeat(
+            np.arange(len(cycles), dtype=_I64), np.array(sizes, dtype=_I64)
+        )
+        node = self._flat[ptr1]
+        node_dead = self._dead[node]
+        at_dst = ptr1 == self._off[pid + 1] - 1
+        deliver = at_dst & ~node_dead
+        cont = ~at_dst & ~node_dead
+        nxt = None
+        taken = len(cycles)
+        if cont.any():
+            nxt = self._flat[np.where(cont, ptr1 + 1, ptr1)]
+            cont &= ~(self._dead[nxt] | self._links_dead(node, nxt))
+            live = np.flatnonzero(cont)
+            if live.size:
+                eids = self._queue_ids(node[live] * n + nxt[live])
+                bad = np.flatnonzero(self._q_next_slot[eids] <= last)
+                if bad.size:
+                    # a join could land inside the window: shrink to the
+                    # verified prefix of buckets before the first offender
+                    # (its checks ran against a later cycle — stricter)
+                    taken = int(bidx[live[bad[0]]])
+                    if taken < 2:
+                        for c in cycles:
+                            heapq.heappush(heap, c)
+                        return 0
+                    cut = int(np.searchsorted(bidx, taken))
+                    pid, ptr1, bidx = pid[:cut], ptr1[:cut], bidx[:cut]
+                    deliver, cont = deliver[:cut], cont[:cut]
+                    node, nxt = node[:cut], nxt[:cut]
+        for c in cycles[taken:]:
+            heapq.heappush(heap, c)
+        cycles, buckets = cycles[:taken], buckets[:taken]
+        for c in cycles:
+            del self._buckets[c]
+        # terminal packets never touch queue state, so their settlement
+        # is order-independent and runs on the unsorted bucket-major data
+        if deliver.any():
+            cyc = np.array(cycles, dtype=_I64)[bidx]
+            self._delivered_at[pid[deliver]] = cyc[deliver]
+        drop = ~deliver & ~cont
+        if drop.any():
+            self._dropped[pid[drop]] = True
+        self._in_flight -= pid.size  # popped; continuers re-add via _join
+        # advance to the window's last bucket *before* joining: every
+        # verified next_slot exceeds it, so _join's max(cycle + 1, slot)
+        # resolves to the queue schedule exactly as per-bucket steps would
+        self.cycle = int(cycles[-1])
+        if cont.any():
+            # only the continuers need the object engine's service order:
+            # bucket-major, then (queue_key, seq) within each bucket
+            keys = np.concatenate([ch[2] for b in buckets for ch in b])
+            seqs = np.concatenate([ch[3] for b in buckets for ch in b])
+            order = np.lexsort((seqs, keys, bidx))
+            sel = order[cont[order]]
+            self._join(pid[sel], ptr1[sel], node[sel] * n + nxt[sel])
+        return taken
+
     def run(self, max_cycles: int = 1_000_000) -> RunStats:
         """Step until all traffic drains (delivered or dropped), skipping
         straight over cycles where nothing is scheduled to move.
@@ -620,11 +771,18 @@ class BatchEngine:
         :meth:`_coalesce_terminal_tail`: once every remaining packet is
         on its final hop (the contention tail), the rest of the calendar
         settles in one vectorized pass instead of one :meth:`step` per
-        occupied cycle — same statistics, bit for bit.
+        occupied cycle — same statistics, bit for bit.  Before that
+        point, :meth:`_step_coalesced` batches windows of consecutive
+        buckets whose joins provably land past the window (the congested
+        middle of a drain), with its own short backoff while the
+        condition fails (early drain, uncongested queues).
         """
         start = self.cycle
         retry_after = 0
         backoff = 4
+        window_after = 0
+        wbackoff = 8
+        wfails = 0
         while self._in_flight:
             if retry_after <= 0:
                 if self._coalesce_terminal_tail(start, max_cycles) < 0:
@@ -635,6 +793,23 @@ class BatchEngine:
                 # tail that turns fully terminal between probes pays
                 retry_after = backoff
                 backoff = min(backoff * 2, 256)
+            if window_after <= 0:
+                done = self._step_coalesced(start, max_cycles)
+                if done:
+                    retry_after -= done
+                    wbackoff = 8
+                    wfails = 0
+                    continue
+                # in a congested drain a window usually fails on one
+                # offending front bucket that the next step clears, so
+                # the first failure gets a free retry; repeated failures
+                # (early drain, uncongested queues — every window has a
+                # join landing inside it) back off exponentially
+                wfails += 1
+                if wfails >= 2:
+                    window_after = wbackoff
+                    wbackoff = min(wbackoff * 2, 256)
+                    wfails = 0
             upcoming = self.next_departure_cycle()
             if upcoming - start > max_cycles:
                 raise SimulationError(
@@ -643,6 +818,7 @@ class BatchEngine:
             self.cycle = upcoming - 1
             self.step()
             retry_after -= 1
+            window_after -= 1
         return self.stats()
 
     # -- records ------------------------------------------------------------

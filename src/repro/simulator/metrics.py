@@ -183,6 +183,21 @@ class WindowSeries:
             for f in ("starts", "injected", "delivered", "occupancy", "mean_latency")
         )
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form: parallel lists, ``nan`` latencies (windows
+        that delivered nothing) mapped to ``null`` — JSON has no NaN and
+        the service streams these over NDJSON."""
+        return {
+            "window": int(self.window),
+            "starts": self.starts.tolist(),
+            "injected": self.injected.tolist(),
+            "delivered": self.delivered.tolist(),
+            "occupancy": self.occupancy.tolist(),
+            "mean_latency": [
+                None if x != x else float(x) for x in self.mean_latency.tolist()
+            ],
+        }
+
 
 def window_series(
     records: PacketArrays, start: int, end: int, window: int
@@ -304,6 +319,30 @@ class StreamStats:
         """Delivered over offered inside the measurement window (1.0 when
         nothing was offered) — the saturation detector's test statistic."""
         return self.delivered / self.offered if self.offered else 1.0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form for the experiment service: scalars as-is,
+        ``totals`` expanded, ``windows`` via
+        :meth:`WindowSeries.to_dict` (``null`` when not windowed)."""
+        from dataclasses import asdict
+
+        return {
+            "cycles": self.cycles,
+            "warmup": self.warmup,
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "unadmitted": self.unadmitted,
+            "offered_rate": self.offered_rate,
+            "delivered_rate": self.delivered_rate,
+            "delivery_ratio": self.delivery_ratio,
+            "mean_latency": self.mean_latency,
+            "p95_latency": self.p95_latency,
+            "final_occupancy": self.final_occupancy,
+            "peak_occupancy": self.peak_occupancy,
+            "totals": asdict(self.totals),
+            "windows": None if self.windows is None else self.windows.to_dict(),
+        }
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

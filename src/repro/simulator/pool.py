@@ -17,7 +17,7 @@ workers *alive across map calls*:
   recognized and dropped instead of corrupting the next call;
 * **liveness** — a worker dying *mid-chunk* (OOM kill, segfault) is
   detected by claim/finish accounting and raised as
-  :class:`~repro.errors.SimulationError`; a worker dying *between*
+  :class:`~repro.errors.WorkerDiedError`; a worker dying *between*
   chunks is replaced silently and the map completes;
 * **explicit lifecycle** — ``close()`` (or the context manager) sends
   one sentinel per worker, joins, and terminates stragglers; workers are
@@ -47,7 +47,7 @@ import weakref
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WorkerDiedError
 from repro.graphs.static_graph import StaticGraph
 
 __all__ = ["WorkerPool", "GraphHandle", "resolve_graph"]
@@ -270,6 +270,7 @@ class WorkerPool:
         """Prune dead workers and spawn until ``n`` are live."""
         if self._ctx is None:
             self._ctx = self._make_context()
+        if self._task_q is None:
             self._task_q = self._ctx.Queue()
             self._result_q = self._ctx.Queue()
         self._procs[:] = [p for p in self._procs if p.is_alive()]
@@ -283,6 +284,29 @@ class WorkerPool:
             p.start()
             self.spawned += 1
             self._procs.append(p)
+
+    def _reset_after_death(self) -> None:
+        """Tear the generation down after a worker died mid-map.
+
+        A process killed at an arbitrary instant (SIGTERM/SIGKILL from
+        outside) may have been holding a queue's internal feeder lock,
+        which poisons that queue for every surviving and future worker
+        — a retry on the same queues would stall forever.  So the whole
+        generation is expendable: terminate the survivors (they may be
+        blocked on the poisoned queue), discard both queues, and let
+        the next ``map`` respawn a clean set lazily."""
+        procs = list(self._procs)
+        self._procs.clear()
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=5)
+        for q in (self._task_q, self._result_q):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        self._task_q = self._result_q = None
 
     def _drain_task_queue(self) -> None:
         """Discard undispatched chunks after an aborted generation."""
@@ -375,10 +399,7 @@ class WorkerPool:
                 received[idx] = True
                 pending -= 1
         if died:
-            # surviving workers may still hold stale chunks; the
-            # generation tag makes their late results harmless, but the
-            # undispatched remainder must not run
-            self._drain_task_queue()
+            self._reset_after_death()
         if failure is not None:
             idx, message = failure
             raise SimulationError(
@@ -386,7 +407,7 @@ class WorkerPool:
             )
         if died:
             lost = [i for i, got in enumerate(received) if not got]
-            raise SimulationError(
+            raise WorkerDiedError(
                 f"shard worker process(es) died without reporting "
                 f"(killed or crashed hard); {len(lost)} task(s) lost, "
                 f"first: {tasks[lost[0]]!r}"
@@ -395,38 +416,63 @@ class WorkerPool:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def close(self) -> None:
+    def close(self, *, force: bool = False) -> None:
         """Shut the pool down: sentinel every worker, join, terminate
-        stragglers, release the queues.  Idempotent."""
+        stragglers, release the queues.  Idempotent.
+
+        ``force=True`` is the interrupt path (Ctrl-C mid-``map``,
+        SIGTERM): workers may be busy and will never reach their
+        sentinel, so the undispatched backlog is drained, every worker
+        is terminated outright with a short join, and any shared-memory
+        segment this process still owns is unlinked —
+        :func:`repro.shm.unlink_owned` — because the exception unwound
+        past whoever held the owning handle.
+        """
         if self._closed:
             return
         self._closed = True
         procs = list(self._procs)
         self._procs.clear()
-        if self._task_q is not None:
+        if force:
+            if self._task_q is not None:
+                self._drain_task_queue()
             for p in procs:
                 if p.is_alive():
-                    try:
-                        self._task_q.put(None)
-                    except Exception:  # pragma: no cover - queue torn down
-                        break
-        for p in procs:
-            p.join(timeout=10)
-        for p in procs:
-            if p.is_alive():  # pragma: no cover - hung worker backstop
-                p.terminate()
+                    p.terminate()
+            for p in procs:
                 p.join(timeout=5)
+        else:
+            if self._task_q is not None:
+                for p in procs:
+                    if p.is_alive():
+                        try:
+                            self._task_q.put(None)
+                        except Exception:  # pragma: no cover - queue torn down
+                            break
+            for p in procs:
+                p.join(timeout=10)
+            for p in procs:
+                if p.is_alive():  # pragma: no cover - hung worker backstop
+                    p.terminate()
+                    p.join(timeout=5)
         for q in (self._task_q, self._result_q):
             if q is not None:
                 q.close()
                 q.cancel_join_thread()
         self._task_q = self._result_q = None
+        if force:
+            from repro import shm
+
+            shm.unlink_owned()
 
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, *exc) -> None:
+        # an interrupt mid-map leaves workers busy: don't wait politely
+        # on a sentinel they will never read
+        self.close(force=exc_type is not None
+                   and issubclass(exc_type, (KeyboardInterrupt, SystemExit)))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self._closed else f"{self.alive_workers} live"

@@ -217,6 +217,36 @@ class ShardStats:
             hop_counts=hop_counts,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form of the exact sufficient statistics: plain
+        ints plus histogram lists.  :meth:`from_dict` round-trips
+        bit-for-bit, so a merged record served over HTTP reconstructs
+        the identical :class:`RunStats` on the client side."""
+        return {
+            "cycles": self.cycles,
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "lat_values": self.lat_values.tolist(),
+            "lat_counts": self.lat_counts.tolist(),
+            "hop_values": self.hop_values.tolist(),
+            "hop_counts": self.hop_counts.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardStats":
+        """Inverse of :meth:`to_dict` (exact)."""
+        return cls(
+            cycles=int(payload["cycles"]),
+            injected=int(payload["injected"]),
+            delivered=int(payload["delivered"]),
+            dropped=int(payload["dropped"]),
+            lat_values=np.asarray(payload["lat_values"], dtype=_I64),
+            lat_counts=np.asarray(payload["lat_counts"], dtype=_I64),
+            hop_values=np.asarray(payload["hop_values"], dtype=_I64),
+            hop_counts=np.asarray(payload["hop_counts"], dtype=_I64),
+        )
+
     def to_run_stats(self, cycles: int | None = None) -> RunStats:
         """The :class:`RunStats` a single-process run would have produced
         (``cycles`` overrides the summed drain timeline when the caller

@@ -1,0 +1,33 @@
+"""The committed BENCH_engines.json artifact must stay diffable: no
+wall-clock stamp in the payload (a regen should only produce a diff
+when the numbers themselves move) and every row semantically gated."""
+
+from __future__ import annotations
+
+import json
+import os
+
+ARTIFACT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_engines.json",
+)
+
+
+def _load() -> dict:
+    with open(ARTIFACT) as fh:
+        return json.load(fh)
+
+
+def test_no_wallclock_stamp_in_comparison_surface():
+    report = _load()
+    assert "generated" not in report
+    assert set(report) == {"suite", "results"}
+
+
+def test_every_row_is_semantically_gated():
+    report = _load()
+    rows = report["results"]
+    assert rows, "empty benchmark artifact"
+    for row in rows:
+        label = f"{row['driver']}/{row['pattern']}"
+        assert row["identical_stats"] is True, label

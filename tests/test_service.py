@@ -1,0 +1,289 @@
+"""Tests for the experiment service: HTTP submission on one warm pool.
+
+The load-bearing contracts:
+
+* **validation at the door** — an invalid spec is rejected with the
+  registry's ``ParameterError`` message and no worker process is ever
+  touched.
+* **bit-identity** — a job submitted over HTTP produces rows and an
+  aggregate bit-identical to ``repro run`` / :func:`run_grid` on the
+  same JSON (wall-clock fields excluded).
+* **retries** — a cell whose worker processes die completes on a
+  respawned pool with ``retries > 0`` and *identical* stats.
+* **cancellation** — queued jobs cancel immediately and never run;
+  the queue skips their stale heap entries.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments import parse_run_payload
+from repro.service import TERMINAL, ExperimentService, JobQueue
+from repro.simulator.shard_driver import ShardStats, run_grid
+
+GRID = {
+    "grid": {
+        "mhk": [[2, 4, 1]],
+        "loop": "closed",
+        "patterns": ["uniform"],
+        "loads": [40, 60],
+        "seeds": [0, 1],
+    }
+}
+
+STREAM = {
+    "m": 2, "h": 4, "k": 1, "loop": "stream", "rate": 0.05,
+    "cycles": 200, "warmup": 40, "source": "poisson",
+}
+
+
+def _strip(row: dict) -> dict:
+    """Drop wall-clock columns: the only legal difference between an
+    HTTP run and a CLI run of the same JSON."""
+    return {k: v for k, v in row.items() if k != "seconds"}
+
+
+def _request(port: int, path: str, payload=None, timeout: float = 30.0):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(f"http://127.0.0.1:{port}{path}", data=data)
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _request_error(port: int, path: str, body: bytes):
+    req = urllib.request.Request(f"http://127.0.0.1:{port}{path}", data=body)
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        urllib.request.urlopen(req, timeout=10)
+    err = exc_info.value
+    return err.code, json.loads(err.read())["error"]
+
+
+def _stream_lines(port: int, job_id: str, timeout: float = 120.0):
+    url = f"http://127.0.0.1:{port}/jobs/{job_id}/stream"
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        assert resp.headers["Content-Type"] == "application/x-ndjson"
+        return [json.loads(line) for line in resp.read().decode().splitlines()]
+
+
+@pytest.fixture(scope="module")
+def service():
+    with ExperimentService(workers=2) as svc:
+        yield svc
+
+
+class TestValidation:
+    def test_bad_spec_rejected_with_registry_message(self, service):
+        code, error = _request_error(
+            service.port, "/experiments",
+            json.dumps({"m": 2, "h": 4, "k": 1, "packets": 10,
+                        "pattern": "carrier-pigeon"}).encode(),
+        )
+        assert code == 400
+        assert "carrier-pigeon" in error and "uniform" in error
+        # the door did its job before any worker was touched
+        assert service.pool.spawned == 0
+
+    def test_wrapper_with_siblings_rejected(self, service):
+        code, error = _request_error(
+            service.port, "/experiments",
+            json.dumps({"experiment": {"m": 2, "h": 4, "k": 1,
+                                       "packets": 10}, "m": 3}).encode(),
+        )
+        assert code == 400
+        assert "experiment" in error
+
+    def test_non_json_body_rejected(self, service):
+        code, error = _request_error(service.port, "/experiments", b"not json")
+        assert code == 400
+        assert "not JSON" in error
+
+    def test_unknown_job_404(self, service):
+        code, error = _request_error(
+            service.port, "/jobs/job-999999/cancel", b""
+        )
+        assert code == 404
+        assert "job-999999" in error
+
+
+class TestLifecycle:
+    def test_grid_bit_identical_to_run_grid(self, service):
+        """Acceptance: an HTTP-submitted grid produces rows and an
+        aggregate bit-identical to running the same JSON directly."""
+        status, body = _request(service.port, "/experiments?priority=1", GRID)
+        assert status == 202
+        job = body["job"]
+        assert job["kind"] == "grid" and job["cells_total"] == 4
+        assert job["priority"] == 1
+
+        lines = _stream_lines(service.port, job["id"])
+        assert lines[-1]["job"]["state"] == "done"
+        assert [ln["cell"] for ln in lines[:-1]] == [0, 1, 2, 3]
+
+        status, result = _request(service.port, f"/jobs/{job['id']}/result")
+        assert status == 200
+        assert result["kind"] == "grid"
+
+        target, _ = parse_run_payload(GRID)
+        direct = run_grid(target, workers=0)
+        assert [_strip(r) for r in result["rows"]] == \
+               [_strip(r) for r in direct.rows()]
+        assert [_strip(ln["row"]) for ln in lines[:-1]] == \
+               [_strip(r) for r in direct.rows()]
+        # the merged sufficient statistics round-trip exactly
+        assert ShardStats.from_dict(result["shard_stats"]) == direct.aggregate
+        agg = direct.aggregate_stats
+        assert result["aggregate"]["delivered"] == agg.delivered
+        assert result["aggregate"]["mean_latency"] == agg.mean_latency
+        assert result["grid"] == target.to_dict()
+
+    def test_stream_experiment_carries_window_series(self, service):
+        status, body = _request(service.port, "/experiments", STREAM)
+        job = body["job"]
+        assert job["kind"] == "experiment" and job["cells_total"] == 1
+        lines = _stream_lines(service.port, job["id"])
+        assert lines[-1]["job"]["state"] == "done"
+        assert "stream" in lines[0]
+        target, _ = parse_run_payload(STREAM)
+        direct = run_grid([target], workers=0)
+        assert _strip(lines[0]["row"]) == _strip(direct.rows()[0])
+        assert lines[0]["stream"] == direct.results[0].stats.to_dict()
+        status, result = _request(service.port, f"/jobs/{job['id']}/result")
+        assert "aggregate" not in result  # open-loop: no cross-rate merge
+        assert result["streams"]["0"] == direct.results[0].stats.to_dict()
+
+    def test_jobs_index_and_healthz(self, service):
+        status, body = _request(service.port, "/jobs")
+        assert status == 200 and len(body["jobs"]) >= 1
+        status, health = _request(service.port, "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["pool"]["target_workers"] == 2
+        assert health["pool"]["closed"] is False
+        assert "queue_depth" in health and "jobs_by_state" in health
+
+
+class TestRetry:
+    def test_worker_killed_mid_job_completes_via_retry(self):
+        """Acceptance: kill the pool's workers while a job's cell is in
+        flight; the job still completes — with a retry count > 0 — and
+        its stats are identical to an undisturbed run."""
+        spec = {"m": 2, "h": 6, "k": 1, "packets": 4000, "shards": 8,
+                "batches": 8}
+        with ExperimentService(workers=2, max_retries=3) as svc:
+            status, body = _request(svc.port, "/experiments", spec)
+            job_id = body["job"]["id"]
+
+            # keep killing the workers until a death lands mid-chunk and
+            # the runner records a retry (a kill that lands *between*
+            # chunks is absorbed by the pool's graceful respawn path);
+            # then stop, so the retried attempt runs undisturbed
+            job = svc.queue.get(job_id)
+            deadline = time.time() + 60
+            while (time.time() < deadline and job.retries == 0
+                   and job.state not in TERMINAL):
+                for p in svc.pool._procs:
+                    if p.is_alive():
+                        p.terminate()
+                time.sleep(0.05)
+            assert job.retries > 0, \
+                f"no kill ever landed mid-chunk (job {job.state})"
+
+            lines = _stream_lines(svc.port, job_id, timeout=120)
+            summary = lines[-1]["job"]
+            assert summary["state"] == "done", summary
+            assert summary["retries"] > 0
+            assert svc.pool.spawned > 2  # the respawn actually happened
+
+            status, result = _request(svc.port, f"/jobs/{job_id}/result")
+
+        target, _ = parse_run_payload(spec)
+        direct = run_grid([target], workers=0)
+        assert ShardStats.from_dict(result["shard_stats"]) == direct.aggregate
+        assert [_strip(r) for r in result["rows"]] == \
+               [_strip(r) for r in direct.rows()]
+
+
+class TestCancellation:
+    def test_queued_job_cancelled_over_http_never_runs(self):
+        svc = ExperimentService(workers=0)
+        svc._http_thread.start()  # HTTP only: no runner, jobs stay queued
+        try:
+            status, body = _request(svc.port, "/experiments",
+                                    {"m": 2, "h": 4, "k": 1, "packets": 20})
+            job_id = body["job"]["id"]
+            status, body = _request(svc.port, f"/jobs/{job_id}/cancel", {})
+            assert status == 200
+            assert body["job"]["state"] == "cancelled"
+            # stream on a terminal job returns just the summary line
+            lines = _stream_lines(svc.port, job_id, timeout=10)
+            assert len(lines) == 1
+            assert lines[0]["job"]["state"] == "cancelled"
+            # the result endpoint reports the terminal summary, no rows
+            status, body = _request(svc.port, f"/jobs/{job_id}/result")
+            assert body["job"]["cells_done"] == 0
+        finally:
+            svc.httpd.shutdown()
+            svc.httpd.server_close()
+            svc.pool.close()
+
+    def test_queue_skips_cancelled_and_orders_by_priority(self):
+        q = JobQueue()
+        spec = object()
+        low = q.submit("experiment", spec, [spec], priority=0)
+        mid = q.submit("experiment", spec, [spec], priority=1)
+        high = q.submit("experiment", spec, [spec], priority=5)
+        assert q.depth == 3
+        assert q.cancel(mid.id).state == "cancelled"
+        assert q.depth == 2
+        assert q.next_job(timeout=0).id == high.id
+        assert q.next_job(timeout=0).id == low.id
+        assert q.next_job(timeout=0) is None
+        assert q.cancel("nope") is None
+
+    def test_running_job_cancels_at_cell_boundary(self):
+        """A multi-cell job cancelled mid-run stops at the next cell
+        boundary: some cells done, state cancelled, capacity free."""
+        grid = {"grid": {"mhk": [[2, 4, 1]], "loop": "closed",
+                         "patterns": ["uniform"], "loads": [50],
+                         "seeds": list(range(8))}}
+        with ExperimentService(workers=0) as svc:
+            status, body = _request(svc.port, "/experiments", grid)
+            job_id = body["job"]["id"]
+            job = svc.queue.get(job_id)
+            # cancel as soon as it starts running
+            deadline = time.time() + 30
+            while job.state == "queued" and time.time() < deadline:
+                time.sleep(0.005)
+            _request(svc.port, f"/jobs/{job_id}/cancel", {})
+            lines = _stream_lines(svc.port, job_id, timeout=60)
+            state = lines[-1]["job"]["state"]
+            # terminal either way; if the race lost, the job just won
+            assert state in ("cancelled", "done")
+            assert len(lines) - 1 == lines[-1]["job"]["cells_done"]
+
+
+class TestConcurrentStreams:
+    def test_two_streams_of_one_job_see_identical_rows(self, service):
+        status, body = _request(service.port, "/experiments", GRID)
+        job_id = body["job"]["id"]
+        results: list = [None, None]
+
+        def watch(slot):
+            results[slot] = _stream_lines(service.port, job_id)
+
+        threads = [threading.Thread(target=watch, args=(i,)) for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert results[0] is not None and results[1] is not None
+        rows0 = [ln["row"] for ln in results[0][:-1]]
+        rows1 = [ln["row"] for ln in results[1][:-1]]
+        assert rows0 == rows1

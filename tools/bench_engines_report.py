@@ -590,11 +590,13 @@ def main(argv=None) -> int:
             f"identical={row['identical_stats']}"
         )
 
+    # no wall-clock stamp in the payload: the report is committed, and a
+    # regen should diff only when the numbers themselves move
     report = {
-        "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
         "suite": "quick" if args.quick else "full",
         "results": rows,
     }
+    print(f"generated {time.strftime('%Y-%m-%d %H:%M:%S')} (not in payload)")
     out_path = pathlib.Path(
         args.out
         or pathlib.Path(__file__).resolve().parent.parent / "BENCH_engines.json"
