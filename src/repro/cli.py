@@ -102,9 +102,63 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.analysis.reporting import main as report_main
+    from repro.reports import REPORTS
 
-    return report_main(args.ids or None)
+    if args.list:
+        from repro.analysis.reporting import all_experiment_ids
+
+        print("registered reports (bundle-capable, see docs/reports.md):")
+        for name in REPORTS.names():
+            print(f"  {name}")
+        print("legacy analysis ids (paper figures/tables):")
+        for exp_id in all_experiment_ids():
+            print(f"  {exp_id}")
+        return 0
+
+    ids = list(args.ids or [])
+    registered = [i for i in ids if i in REPORTS]
+    if not registered:
+        # legacy figure/table path — unchanged, including "no ids = all"
+        from repro.analysis.reporting import main as report_main
+
+        return report_main(ids or None)
+    if len(registered) != len(ids):
+        legacy = sorted(set(ids) - set(registered))
+        print(f"error: cannot mix registered reports {registered} with "
+              f"legacy analysis ids {legacy} in one invocation",
+              file=sys.stderr)
+        return 2
+
+    import os
+
+    from repro.analysis.reporting import format_table
+    from repro.reports import build_report, write_report_bundle
+    from repro.simulator.pool import WorkerPool
+
+    _install_signal_handlers()
+    with WorkerPool(workers=args.workers,
+                    chunk_size=args.chunk_size) as report_pool:
+        for name in registered:
+            run = build_report(name, quick=args.quick, pool=report_pool)
+            print(f"{run.plan.title}")
+            print(f"{len(run.plan.cells)} cells on {run.workers} worker(s), "
+                  f"{run.seconds:.3f} s")
+            if run.summary:
+                print(f"\n{run.summary}")
+            for table in run.tables:
+                print(f"\n{table.name}: {table.caption}")
+                display = [
+                    {c: row[c] for c in table.columns} for row in table.rows
+                ]
+                print(format_table(display))
+            if args.bundle:
+                out = (args.bundle if len(registered) == 1
+                       else os.path.join(args.bundle, name))
+                manifest = write_report_bundle(run, out)
+                print(f"\nwrote bundle: {out} "
+                      f"({len(manifest['artifacts'])} artifacts "
+                      f"+ manifest.json)")
+    return 0
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
@@ -285,6 +339,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             bound = "lower" if res.stable_rate else "upper"
             print(f"saturation not bracketed by the rate ladder; "
                   f"{bound} bound ~ {res.saturation_rate:.3f} pkt/cycle")
+        if args.out:
+            from repro.reports import write_run_bundle
+
+            write_run_bundle(
+                res.points, args.out,
+                source={"kind": "saturation", "experiment": target.to_dict(),
+                        "rates": rates},
+            )
+            print(f"wrote per-cell artifacts: {args.out}")
         if args.json:
             payload = {
                 "experiment": target.to_dict(),
@@ -342,6 +405,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         check_failed = not identical
         print(f"single-process reference: identical stats: {identical}")
+    if args.out:
+        from repro.reports import write_run_bundle
+
+        write_run_bundle(
+            result.results, args.out,
+            source={"kind": kind, kind: target.to_dict()},
+        )
+        print(f"wrote per-cell artifacts: {args.out}")
     if args.json:
         payload = {
             "kind": kind,
@@ -587,8 +658,36 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--seed", type=int, default=0)
     v.set_defaults(func=_cmd_verify)
 
-    r = sub.add_parser("report", help="regenerate paper figures/tables")
-    r.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    r = sub.add_parser(
+        "report",
+        help="build a registered report (with an optional reproducibility "
+             "bundle) or regenerate legacy paper figures/tables",
+        description="Names from the REPORTS registry (e.g. "
+                    "dependability-surface, paper-tables) execute their "
+                    "experiment grids on one warm worker pool, print the "
+                    "aggregated tables, and with --bundle emit a "
+                    "self-describing, byte-identical-on-regeneration "
+                    "bundle (manifest.json + raw per-cell results + "
+                    "CSV/JSON tables + markdown summary).  Legacy "
+                    "analysis ids keep their old behavior; --list shows "
+                    "both groups.  See docs/reports.md.",
+    )
+    r.add_argument("ids", nargs="*",
+                   help="report names or legacy experiment ids "
+                   "(default: all legacy figures)")
+    r.add_argument("--bundle", default=None, metavar="DIR",
+                   help="write the reproducibility bundle into DIR "
+                   "(must be empty/nonexistent; registered reports only)")
+    r.add_argument("--quick", action="store_true",
+                   help="build the QUICK-sized parameterization "
+                   "(CI/test scale) instead of the full surface")
+    r.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: one per CPU core; "
+                   "0 = run inline)")
+    r.add_argument("--chunk-size", type=int, default=None,
+                   help="tasks per work-stealing chunk (default: auto)")
+    r.add_argument("--list", action="store_true",
+                   help="list registered reports and legacy ids, then exit")
     r.set_defaults(func=_cmd_report)
 
     rt = sub.add_parser("route", help="route with reconfiguration")
@@ -654,6 +753,10 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--json", default=None, metavar="PATH",
                     help="write rows + aggregate (or the saturation "
                     "curve) as JSON")
+    rn.add_argument("--out", default=None, metavar="DIR",
+                    help="write per-cell raw artifacts + manifest.json "
+                    "into DIR via the reports bundle writer (must be "
+                    "empty/nonexistent; see docs/reports.md)")
     rn.set_defaults(func=_cmd_run)
 
     sv = sub.add_parser(

@@ -53,6 +53,7 @@ True
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import time
@@ -411,6 +412,13 @@ class ExperimentSpec:
     def from_json(cls, text: str) -> "ExperimentSpec":
         return cls.from_dict(json.loads(text))
 
+    def digest(self) -> str:
+        """Stable content hash of the spec: SHA-256 over the canonical
+        (sorted-keys) JSON form.  Equal specs hash equal in any process,
+        so bundle cell filenames derived from it are reproducible."""
+        canon = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canon.encode()).hexdigest()
+
     # -- fault universes -----------------------------------------------------
 
     def _effective_fault_model(self) -> dict | None:
@@ -759,6 +767,12 @@ class ExperimentGrid:
     @classmethod
     def from_json(cls, text: str) -> "ExperimentGrid":
         return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """Stable content hash of the grid (canonical-JSON SHA-256),
+        mirroring :meth:`ExperimentSpec.digest`."""
+        canon = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canon.encode()).hexdigest()
 
 
 def parse_run_payload(payload, *, origin: str = "request"):

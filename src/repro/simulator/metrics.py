@@ -24,8 +24,10 @@ __all__ = [
     "RunStats",
     "StreamStats",
     "WindowSeries",
+    "hist_percentile",
     "summarize",
     "summarize_arrays",
+    "wilson_interval",
     "window_series",
     "stream_summary",
 ]
@@ -132,6 +134,80 @@ def summarize(packets: "list[Packet] | PacketArrays", cycles: int) -> RunStats:
     if isinstance(packets, PacketArrays):
         return summarize_arrays(packets, cycles)
     return summarize_arrays(PacketArrays.from_packets(packets), cycles)
+
+
+# ---------------------------------------------------------------------------
+# interval estimates over merged replica counts
+# ---------------------------------------------------------------------------
+
+def wilson_interval(
+    successes: int, trials: int, *, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    The dependability tables report delivery as ``delivered / offered``
+    pooled over Monte-Carlo replicas; the Wilson interval stays inside
+    ``[0, 1]`` and behaves sensibly at the boundary rates (0% and 100%
+    delivery) where the naive normal interval collapses to a point.
+    Returns ``(lo, hi)``; ``trials == 0`` yields the vacuous ``(0, 1)``.
+    """
+    successes, trials = int(successes), int(trials)
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"wilson_interval needs 0 <= successes <= trials, "
+            f"got {successes}/{trials}"
+        )
+    if z <= 0:
+        raise ValueError(f"wilson_interval needs z > 0, got {z}")
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2.0 * trials)) / denom
+    half = (
+        z
+        * ((p * (1.0 - p) / trials + z2 / (4.0 * trials * trials)) ** 0.5)
+        / denom
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def hist_percentile(
+    values: np.ndarray, counts: np.ndarray, q: float
+) -> float:
+    """Percentile of a value histogram, identical to ``np.percentile``
+    (linear interpolation) on the expanded sample.
+
+    Merged :class:`~repro.simulator.shard_driver.ShardStats` carry
+    latency/hop distributions as ``(values, counts)`` histograms; this
+    reduces them without materializing the multi-million-entry sample a
+    full dependability-surface cell would otherwise expand.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if values.shape != counts.shape or values.ndim != 1:
+        raise ValueError("hist_percentile needs parallel 1-d values/counts")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if np.any(counts < 0):
+        raise ValueError("hist_percentile needs non-negative counts")
+    keep = counts > 0
+    values, counts = values[keep], counts[keep]
+    n = int(counts.sum())
+    if n == 0:
+        return 0.0
+    order = np.argsort(values, kind="stable")
+    values, counts = values[order], counts[order]
+    # np.percentile 'linear': the target sits at rank q/100 * (n-1) of
+    # the sorted sample; cumulative counts locate the bracketing values
+    pos = q / 100.0 * (n - 1)
+    lo_rank = int(np.floor(pos))
+    hi_rank = min(lo_rank + 1, n - 1)
+    cum = np.cumsum(counts)
+    lo_val = float(values[np.searchsorted(cum, lo_rank, side="right")])
+    hi_val = float(values[np.searchsorted(cum, hi_rank, side="right")])
+    return lo_val + (pos - lo_rank) * (hi_val - lo_val)
 
 
 # ---------------------------------------------------------------------------

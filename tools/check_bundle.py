@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Verify a reproducibility bundle against its own manifest.
+
+Stdlib-only by design: the point of a self-describing bundle is that a
+reviewer can check it without installing the simulator.  Checks:
+
+* ``manifest.json`` parses and carries the expected schema tag;
+* every listed artifact exists and its SHA-256 matches the manifest;
+* no stray files: everything in the directory is either the manifest
+  or listed in it;
+* every cell entry's path is a listed artifact, the cell file's
+  ``cell_id``/``spec_digest`` agree with the manifest entry, and the
+  spec in the file hashes to its claimed digest;
+* every table row's provenance links (``cells``) resolve to manifest
+  cell ids, and the table files listed exist;
+* nothing in the bundle carries a wall-clock stamp (no ``seconds``,
+  ``generated`` or ``timestamp`` keys anywhere).
+
+``--compare OTHER`` additionally requires a second bundle directory to
+be byte-identical file-for-file — the regeneration contract.
+
+Exit status: 0 clean, 1 on any finding (all findings are printed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+
+SCHEMA = "repro-report-bundle/1"
+WALLCLOCK_KEYS = {"seconds", "generated", "timestamp", "wall_clock"}
+
+
+def _walk_files(root: str) -> list[str]:
+    out = []
+    for dirpath, _, filenames in os.walk(root):
+        for name in filenames:
+            full = os.path.join(dirpath, name)
+            out.append(os.path.relpath(full, root))
+    return sorted(out)
+
+
+def _find_wallclock(obj, path: str) -> list[str]:
+    found = []
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            if key in WALLCLOCK_KEYS:
+                found.append(f"{path}: wall-clock key {key!r}")
+            found.extend(_find_wallclock(value, f"{path}.{key}"))
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            found.extend(_find_wallclock(value, f"{path}[{i}]"))
+    return found
+
+
+def check_bundle(root: str) -> list[str]:
+    """Every problem found in the bundle at ``root`` (empty = clean)."""
+    problems: list[str] = []
+    manifest_path = os.path.join(root, "manifest.json")
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"manifest.json unreadable: {exc}"]
+
+    if manifest.get("schema") != SCHEMA:
+        problems.append(
+            f"manifest schema is {manifest.get('schema')!r}, "
+            f"expected {SCHEMA!r}"
+        )
+    artifacts = manifest.get("artifacts", {})
+    if not isinstance(artifacts, dict) or not artifacts:
+        problems.append("manifest lists no artifacts")
+        artifacts = {}
+
+    for relpath, want in sorted(artifacts.items()):
+        full = os.path.join(root, relpath)
+        try:
+            with open(full, "rb") as fh:
+                got = hashlib.sha256(fh.read()).hexdigest()
+        except OSError as exc:
+            problems.append(f"{relpath}: listed but unreadable ({exc})")
+            continue
+        if got != want:
+            problems.append(
+                f"{relpath}: sha256 mismatch (manifest {want[:12]}..., "
+                f"file {got[:12]}...)"
+            )
+
+    on_disk = set(_walk_files(root)) - {"manifest.json"}
+    for stray in sorted(on_disk - set(artifacts)):
+        problems.append(f"{stray}: present but not listed in the manifest")
+
+    cell_ids = set()
+    for entry in manifest.get("cells", []):
+        cid, relpath = entry.get("cell_id"), entry.get("path")
+        cell_ids.add(cid)
+        if relpath not in artifacts:
+            problems.append(f"cell {cid}: path {relpath!r} not an artifact")
+            continue
+        try:
+            with open(os.path.join(root, relpath)) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"cell {cid}: unreadable ({exc})")
+            continue
+        if payload.get("cell_id") != cid:
+            problems.append(
+                f"cell {cid}: file says cell_id={payload.get('cell_id')!r}"
+            )
+        digest = hashlib.sha256(
+            json.dumps(payload.get("spec", {}), sort_keys=True).encode()
+        ).hexdigest()
+        for claimed in (entry.get("spec_digest"),
+                        payload.get("spec_digest")):
+            if claimed != digest:
+                problems.append(
+                    f"cell {cid}: spec_digest {str(claimed)[:12]}... does "
+                    f"not match the spec content ({digest[:12]}...)"
+                )
+
+    for table in manifest.get("tables", []):
+        name = table.get("name")
+        for key in ("path_csv", "path_json"):
+            if table.get(key) not in artifacts:
+                problems.append(
+                    f"table {name}: {key} {table.get(key)!r} not an artifact"
+                )
+        for cid in table.get("cells", []):
+            if cid not in cell_ids:
+                problems.append(
+                    f"table {name}: links cell {cid!r} which the manifest "
+                    f"does not list"
+                )
+        json_path = os.path.join(root, str(table.get("path_json")))
+        if os.path.exists(json_path):
+            with open(json_path) as fh:
+                rows = json.load(fh).get("rows", [])
+            for i, row in enumerate(rows):
+                for cid in row.get("cells", []):
+                    if cid not in cell_ids:
+                        problems.append(
+                            f"table {name} row {i}: provenance link "
+                            f"{cid!r} does not resolve"
+                        )
+
+    for relpath in sorted(set(artifacts) | {"manifest.json"}):
+        if not relpath.endswith(".json"):
+            continue
+        full = os.path.join(root, relpath)
+        if not os.path.exists(full):
+            continue
+        with open(full) as fh:
+            try:
+                payload = json.load(fh)
+            except json.JSONDecodeError:
+                continue  # already reported via hash/readability checks
+        problems.extend(_find_wallclock(payload, relpath))
+
+    return problems
+
+
+def compare_bundles(a: str, b: str) -> list[str]:
+    """Byte-identity findings between two bundle directories."""
+    problems = []
+    files_a, files_b = set(_walk_files(a)), set(_walk_files(b))
+    for only_a in sorted(files_a - files_b):
+        problems.append(f"{only_a}: only in {a}")
+    for only_b in sorted(files_b - files_a):
+        problems.append(f"{only_b}: only in {b}")
+    for relpath in sorted(files_a & files_b):
+        with open(os.path.join(a, relpath), "rb") as fh:
+            bytes_a = fh.read()
+        with open(os.path.join(b, relpath), "rb") as fh:
+            bytes_b = fh.read()
+        if bytes_a != bytes_b:
+            problems.append(f"{relpath}: bytes differ between the bundles")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="verify a reproducibility bundle against its manifest"
+    )
+    parser.add_argument("bundle", help="bundle directory to verify")
+    parser.add_argument("--compare", default=None, metavar="OTHER",
+                        help="also require byte-identity with a second "
+                        "bundle directory (the regeneration contract)")
+    args = parser.parse_args(argv)
+
+    problems = check_bundle(args.bundle)
+    if args.compare:
+        problems += check_bundle(args.compare)
+        problems += compare_bundles(args.bundle, args.compare)
+    for problem in problems:
+        print(f"FAIL {problem}")
+    if problems:
+        print(f"{len(problems)} problem(s) in {args.bundle}")
+        return 1
+    n = len(_walk_files(args.bundle))
+    print(f"OK {args.bundle}: {n} files verified"
+          + (f", byte-identical to {args.compare}" if args.compare else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
